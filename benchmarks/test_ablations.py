@@ -1,0 +1,31 @@
+"""Bench: design-choice ablations (XOF core, variant trade-off, sharing)."""
+
+import pytest
+
+from repro.eval import EXPERIMENTS
+from repro.hw import PastaAccelerator
+from repro.keccak import NaiveKeccakCore, OverlappedKeccakCore
+from repro.pasta import PASTA_4, random_key
+
+
+@pytest.fixture(scope="module")
+def ablation_text():
+    return EXPERIMENTS["ablations"](n_nonces=2).render()
+
+
+def test_overlapped_core_block(benchmark, ablation_text, capsys):
+    accel = PastaAccelerator(PASTA_4, random_key(PASTA_4), core_cls=OverlappedKeccakCore)
+    _, report = benchmark(accel.keystream_block, 2, 0)
+    fast_cycles = report.total_cycles
+    slow_accel = PastaAccelerator(PASTA_4, random_key(PASTA_4), core_cls=NaiveKeccakCore)
+    _, slow_report = slow_accel.keystream_block(2, 0)
+    assert slow_report.total_cycles / fast_cycles > 1.5
+    with capsys.disabled():
+        print()
+        print(ablation_text)
+
+
+def test_naive_core_block(benchmark):
+    accel = PastaAccelerator(PASTA_4, random_key(PASTA_4), core_cls=NaiveKeccakCore)
+    _, report = benchmark(accel.keystream_block, 2, 0)
+    assert report.total_cycles > 2_400

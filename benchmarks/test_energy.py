@@ -1,0 +1,14 @@
+"""Bench: energy-per-element table (the Sec. I-B efficiency claim)."""
+
+from repro.eval import EXPERIMENTS
+from repro.hw.energy import energy_advantage_vs_cpu, energy_table
+from repro.pasta import PASTA_4
+
+
+def test_energy_table(benchmark, capsys):
+    points = benchmark(energy_table, PASTA_4, 21.4, 1.6, 23.0)
+    advantages = energy_advantage_vs_cpu(points)
+    assert advantages["ASIC (7/28nm, 1 GHz)"] > 10_000
+    with capsys.disabled():
+        print()
+        print(EXPERIMENTS["energy"](n_nonces=2).render())

@@ -1,0 +1,33 @@
+"""Bench: fault attack + temporal-redundancy countermeasure (future work)."""
+
+import pytest
+
+from repro.attacks import FaultSpec, keystream_with_fault, recover_key_from_linearized
+from repro.eval import EXPERIMENTS
+from repro.pasta import PASTA_TOY, random_key
+
+
+@pytest.fixture(scope="module")
+def countermeasure_text():
+    return EXPERIMENTS["countermeasures"](n_nonces=2).render()
+
+
+def test_linearization_key_recovery(benchmark, countermeasure_text, capsys):
+    key = random_key(PASTA_TOY, seed=b"bench-victim")
+    faulty = [
+        (1, c, keystream_with_fault(PASTA_TOY, key, 1, c, FaultSpec("skip-all-sboxes")))
+        for c in (0, 1)
+    ]
+    recovered = benchmark(recover_key_from_linearized, PASTA_TOY, faulty)
+    assert list(recovered) == list(key)
+    with capsys.disabled():
+        print()
+        print(countermeasure_text)
+
+
+def test_fault_injection_overhead(benchmark):
+    key = random_key(PASTA_TOY, seed=b"bench-victim")
+    ks = benchmark(
+        keystream_with_fault, PASTA_TOY, key, 2, 0, FaultSpec("corrupt-element", 1, 2)
+    )
+    assert ks.shape == (PASTA_TOY.t,)

@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 7 (module-wise area breakdown, FPGA + ASIC)."""
+
+import pytest
+
+from repro.eval import EXPERIMENTS
+from repro.hw import module_areas
+from repro.pasta import PASTA_4
+
+
+def test_fig7_area_breakdown(benchmark, capsys):
+    areas = benchmark(module_areas, PASTA_4, "fpga")
+    assert sum(areas.values()) == pytest.approx(23_736)
+    with capsys.disabled():
+        print()
+        print(EXPERIMENTS["fig7"]().render())

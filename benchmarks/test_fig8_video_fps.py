@@ -1,0 +1,27 @@
+"""Bench: regenerate Fig. 8 (video frames/s over 5G, TW vs RISE).
+
+The timed kernel is a *functional* frame encryption (pack -> encrypt ->
+decrypt -> verify) at a reduced frame size, backing the analytic link
+budget with working code.
+"""
+
+import pytest
+
+from repro.apps import Resolution, encrypt_frame
+from repro.eval import EXPERIMENTS
+from repro.pasta import PASTA_4, Pasta, random_key
+
+
+@pytest.fixture(scope="module")
+def fig8_text():
+    return EXPERIMENTS["fig8"]().render()
+
+
+def test_fig8_video_fps(benchmark, fig8_text, capsys):
+    tiny = Resolution("tiny-frame", 16, 8)  # two PASTA-4 blocks
+    cipher = Pasta(PASTA_4, random_key(PASTA_4))
+    result = benchmark.pedantic(encrypt_frame, args=(cipher, tiny, 3), rounds=3, iterations=1)
+    assert result.ok_roundtrip
+    with capsys.disabled():
+        print()
+        print(fig8_text)

@@ -1,0 +1,31 @@
+"""Bench: Sec. IV-B Keccak budget (permutation counts, cycle derivations)."""
+
+import pytest
+
+from repro.eval import EXPERIMENTS
+from repro.keccak import keccak_f1600, shake128
+
+
+@pytest.fixture(scope="module")
+def budget_text():
+    return EXPERIMENTS["keccak_budget"](n_nonces=3).render()
+
+
+def test_keccak_permutation(benchmark, budget_text, capsys):
+    state = list(range(25))
+    out = benchmark(keccak_f1600, state)
+    assert out != state
+    with capsys.disabled():
+        print()
+        print(budget_text)
+
+
+def test_shake128_squeeze_21_words(benchmark):
+    """One hardware squeeze batch: 21 64-bit words."""
+
+    def squeeze_batch():
+        stream = shake128(b"bench").words()
+        return [next(stream) for _ in range(21)]
+
+    words = benchmark(squeeze_batch)
+    assert len(words) == 21

@@ -1,0 +1,45 @@
+"""Component microbenchmarks: the primitives behind every reproduced number."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Aes128
+from repro.ff import P17, P60, PrimeField, make_reducer
+from repro.fhe import NegacyclicNtt
+from repro.pasta import PASTA_4, Pasta, generate_matrix, random_key, streaming_mat_vec
+
+F17 = PrimeField(P17)
+
+
+def test_modular_reduction_fermat(benchmark):
+    reducer = make_reducer(P17)
+    x = (P17 - 2) * (P17 - 3)
+    assert benchmark(reducer.reduce, x) == x % P17
+
+
+def test_matgen_streaming_matvec_t32(benchmark):
+    rng = np.random.default_rng(1)
+    alpha = F17.array(rng.integers(1, P17, size=32))
+    x = F17.array(rng.integers(0, P17, size=32))
+    result = benchmark(streaming_mat_vec, F17, alpha, x)
+    assert np.array_equal(result, F17.mat_vec(generate_matrix(F17, alpha), x))
+
+
+def test_pasta4_reference_block(benchmark):
+    cipher = Pasta(PASTA_4, random_key(PASTA_4))
+    ks = benchmark(cipher.keystream_block, 0, 0)
+    assert ks.shape == (32,)
+
+
+def test_aes128_block(benchmark):
+    """Traditional SE contrast (Sec. I-A): AES block vs PASTA block."""
+    aes = Aes128(bytes(range(16)))
+    ct = benchmark(aes.encrypt_block, bytes(16))
+    assert len(ct) == 16
+
+
+def test_ntt_forward_1024(benchmark):
+    ntt = NegacyclicNtt(1024, P60)
+    poly = list(range(1024))
+    out = benchmark(ntt.forward, poly)
+    assert len(out) == 1024

@@ -1,0 +1,13 @@
+"""Bench: regenerate Table I (FPGA area of PASTA-3/4 on Artix-7)."""
+
+from repro.eval import EXPERIMENTS
+from repro.hw import fpga_area
+from repro.pasta import ALL_PUBLISHED
+
+
+def test_table1_fpga_area(benchmark, capsys):
+    result = benchmark(lambda: [fpga_area(p) for p in ALL_PUBLISHED])
+    assert [a.dsp for a in result] == [256, 64, 256, 576]
+    with capsys.disabled():
+        print()
+        print(EXPERIMENTS["table1"]().render())

@@ -1,0 +1,43 @@
+"""Bench: regenerate Table II (block encryption on FPGA/ASIC/RISC-V vs CPU).
+
+The timed kernels are the actual block simulations whose cycle counts make
+up the reproduced rows: the cycle-accurate accelerator model for PASTA-4
+and PASTA-3, and the full RISC-V SoC run (ISS + peripheral).
+"""
+
+import pytest
+
+from repro.eval import EXPERIMENTS
+from repro.hw import PastaAccelerator
+from repro.pasta import PASTA_3, PASTA_4, random_key
+from repro.soc import PastaSoC
+
+
+@pytest.fixture(scope="module")
+def table2_text():
+    return EXPERIMENTS["table2"](n_nonces=3).render()
+
+
+def test_pasta4_accelerator_block(benchmark, table2_text, capsys):
+    accel = PastaAccelerator(PASTA_4, random_key(PASTA_4))
+    _, report = benchmark(accel.keystream_block, 1, 0)
+    assert 1_500 < report.total_cycles < 1_800
+    with capsys.disabled():
+        print()
+        print(table2_text)
+
+
+def test_pasta3_accelerator_block(benchmark):
+    accel = PastaAccelerator(PASTA_3, random_key(PASTA_3))
+    _, report = benchmark.pedantic(accel.keystream_block, args=(1, 0), rounds=3, iterations=1)
+    assert 4_500 < report.total_cycles < 6_000
+
+
+def test_pasta4_soc_block(benchmark):
+    soc = PastaSoC(PASTA_4)
+    key = [int(k) for k in random_key(PASTA_4)]
+    message = list(range(32))
+    result = benchmark.pedantic(
+        soc.run_encryption, args=(key, message, 5), rounds=3, iterations=1
+    )
+    assert result.cycles_per_block > result.accel_cycles_per_block

@@ -1,0 +1,22 @@
+"""Bench: regenerate Table III (vs prior client accelerators + speedups)."""
+
+import pytest
+
+from repro.baselines import RISE, cycle_reduction_vs_cpu, per_element_speedup
+from repro.eval import EXPERIMENTS
+from repro.eval.table3 import this_work_measurement
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return EXPERIMENTS["table3"](n_nonces=2)
+
+
+def test_table3_comparison(benchmark, table3, capsys):
+    tw = benchmark.pedantic(this_work_measurement, kwargs={"n_nonces": 1}, rounds=2, iterations=1)
+    # The paper's headline ratios must hold in shape.
+    assert 700 < cycle_reduction_vs_cpu(tw) < 1000  # paper: 857x
+    assert 80 < per_element_speedup(tw, RISE, "asic") < 110  # paper: ~97x
+    with capsys.disabled():
+        print()
+        print(table3.render())

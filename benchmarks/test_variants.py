@@ -1,0 +1,15 @@
+"""Bench: cross-scheme projection (future-work design-space exploration)."""
+
+import pytest
+
+from repro.eval import EXPERIMENTS
+from repro.variants import ALL_VARIANTS, PASTA_4_SPEC, projected_cycles
+
+
+def test_variant_projection(benchmark, capsys):
+    cycles = benchmark(lambda: [projected_cycles(v) for v in ALL_VARIANTS])
+    assert len(cycles) == 5
+    assert 1_550 < projected_cycles(PASTA_4_SPEC) < 1_700
+    with capsys.disabled():
+        print()
+        print(EXPERIMENTS["variants"](n_nonces=2).render())

@@ -1,0 +1,43 @@
+"""Command-line entry: regenerate any reproduced table or figure.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro table2               # print one experiment
+    python -m repro all                  # print everything
+    python -m repro report [PATH]        # (re)write EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv=None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    from repro.eval import EXPERIMENTS
+
+    if not argv or argv[0] in ("-h", "--help", "list"):
+        print(__doc__)
+        print("experiments:", ", ".join(sorted(EXPERIMENTS)))
+        return 0
+
+    command = argv[0]
+    if command == "report":
+        from repro.eval.report import main as report_main
+
+        return report_main(argv[1:])
+    if command == "all":
+        for name in sorted(EXPERIMENTS):
+            print(EXPERIMENTS[name]().render())
+            print()
+        return 0
+    if command in EXPERIMENTS:
+        print(EXPERIMENTS[command]().render())
+        return 0
+    print(f"unknown experiment {command!r}; try: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,39 @@
+"""Application benchmarks: the video-frame encryption workload of Sec. V."""
+
+from repro.apps.packing import pack_pixels, pixels_per_element, unpack_pixels
+from repro.apps.video import (
+    MAX_BANDWIDTH_BPS,
+    MIN_BANDWIDTH_BPS,
+    QQVGA,
+    QVGA,
+    RESOLUTIONS,
+    VGA,
+    FrameRunResult,
+    LinkDesign,
+    Resolution,
+    encrypt_frame,
+    fig8_rows,
+    rise_design,
+    synthetic_frame,
+    this_work_design,
+)
+
+__all__ = [
+    "FrameRunResult",
+    "LinkDesign",
+    "MAX_BANDWIDTH_BPS",
+    "MIN_BANDWIDTH_BPS",
+    "QQVGA",
+    "QVGA",
+    "RESOLUTIONS",
+    "Resolution",
+    "VGA",
+    "encrypt_frame",
+    "fig8_rows",
+    "pack_pixels",
+    "pixels_per_element",
+    "rise_design",
+    "synthetic_frame",
+    "this_work_design",
+    "unpack_pixels",
+]

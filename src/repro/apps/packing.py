@@ -1,0 +1,53 @@
+"""Pixel <-> field-element packing for the video application (Sec. V).
+
+Grayscale pixels are 8 bits; a field element mod p can hold
+``floor((bit_length(p) - 1) / 8)`` of them losslessly (the packed value
+must stay strictly below p). For the 17-bit prime 65537 that is two
+pixels per element — the packing the paper's link-budget math implies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ParameterError
+
+
+def pixels_per_element(p: int) -> int:
+    """8-bit pixels that fit losslessly in one element of [0, p)."""
+    count = (p.bit_length() - 1) // 8
+    if count < 1:
+        raise ParameterError(f"modulus {p} cannot hold even one 8-bit pixel")
+    return count
+
+
+def pack_pixels(pixels: Sequence[int], p: int) -> List[int]:
+    """Pack 8-bit pixels (big-endian within an element) into field elements."""
+    per = pixels_per_element(p)
+    out: List[int] = []
+    for start in range(0, len(pixels), per):
+        chunk = pixels[start : start + per]
+        value = 0
+        for pixel in chunk:
+            if not 0 <= pixel < 256:
+                raise ParameterError(f"pixel {pixel} out of 8-bit range")
+            value = (value << 8) | pixel
+        out.append(value)
+    return out
+
+
+def unpack_pixels(elements: Sequence[int], p: int, n_pixels: int) -> List[int]:
+    """Inverse of :func:`pack_pixels` for a known pixel count."""
+    per = pixels_per_element(p)
+    out: List[int] = []
+    for index, value in enumerate(elements):
+        remaining = min(per, n_pixels - index * per)
+        if remaining <= 0:
+            break
+        if not 0 <= value < p:
+            raise ParameterError(f"element {value} not reduced mod {p}")
+        chunk = [(value >> (8 * (remaining - 1 - i))) & 0xFF for i in range(remaining)]
+        out.extend(chunk)
+    if len(out) != n_pixels:
+        raise ParameterError(f"expected {n_pixels} pixels, unpacked {len(out)}")
+    return out

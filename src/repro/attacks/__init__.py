@@ -1,0 +1,31 @@
+"""Fault-analysis extension (paper Sec. VI / SASTA [30]): attacks + defenses."""
+
+from repro.attacks.countermeasures import (
+    COMPARE_CYCLES,
+    CountermeasureCost,
+    FaultDetected,
+    RedundantAccelerator,
+    RedundantResult,
+    pke_redundancy_cost,
+    redundancy_costs,
+    software_reference_check,
+)
+from repro.attacks.fault import (
+    FaultSpec,
+    keystream_with_fault,
+    recover_key_from_linearized,
+)
+
+__all__ = [
+    "COMPARE_CYCLES",
+    "CountermeasureCost",
+    "FaultDetected",
+    "FaultSpec",
+    "RedundantAccelerator",
+    "RedundantResult",
+    "keystream_with_fault",
+    "pke_redundancy_cost",
+    "recover_key_from_linearized",
+    "redundancy_costs",
+    "software_reference_check",
+]

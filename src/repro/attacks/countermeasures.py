@@ -1,0 +1,110 @@
+"""Fault countermeasures and their cost (paper Sec. VI future scope).
+
+The paper asks: what does protecting the HHE client against fault
+analysis cost, *compared to protecting a public-key FHE client the same
+way*? This module models the standard temporal-redundancy countermeasure
+(compute every block twice, release only on agreement) and evaluates its
+overhead on our measured accelerator numbers versus the published PKE
+accelerator numbers — because both sides double their work, the HHE
+latency advantage survives the countermeasure unchanged.
+
+:class:`RedundantAccelerator` also *functions*: it detects injected
+faults, demonstrating the detection mechanism on live computations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.attacks.fault import FaultSpec, keystream_with_fault
+from repro.errors import SimulationError
+from repro.hw.accelerator import PastaAccelerator
+from repro.hw.report import CycleReport
+from repro.pasta.cipher import Pasta
+from repro.pasta.params import PastaParams
+
+
+class FaultDetected(SimulationError):
+    """Temporal redundancy found a mismatch between the two computations."""
+
+
+@dataclass
+class RedundantResult:
+    """Outcome of a protected block computation."""
+
+    keystream: np.ndarray
+    total_cycles: int  #: both passes + the comparison
+    reports: Tuple[CycleReport, CycleReport]
+
+
+#: Comparison of 2t elements through the t-wide adder/comparator: 2 cycles.
+COMPARE_CYCLES = 2
+
+
+class RedundantAccelerator:
+    """Temporal-redundancy wrapper around the accelerator model.
+
+    Computes every keystream block twice and compares. ``inject`` applies
+    a fault to the *second* pass only (modeling a transient fault), which
+    the comparison must catch.
+    """
+
+    def __init__(self, params: PastaParams, key: Sequence[int]):
+        self.params = params
+        self.key = params.field.array(key)
+        self.accel = PastaAccelerator(params, key)
+
+    def keystream_block(
+        self, nonce: int, counter: int, inject: Optional[FaultSpec] = None
+    ) -> RedundantResult:
+        first, report1 = self.accel.keystream_block(nonce, counter)
+        if inject is None:
+            second, report2 = self.accel.keystream_block(nonce, counter)
+        else:
+            second = keystream_with_fault(self.params, self.key, nonce, counter, inject)
+            _, report2 = self.accel.keystream_block(nonce, counter)
+        total = report1.total_cycles + report2.total_cycles + COMPARE_CYCLES
+        if not np.array_equal(first, second):
+            raise FaultDetected(
+                f"redundant computations disagree for nonce={nonce}, counter={counter}"
+            )
+        return RedundantResult(keystream=first, total_cycles=total, reports=(report1, report2))
+
+
+@dataclass(frozen=True)
+class CountermeasureCost:
+    """Latency cost of temporal redundancy on one platform."""
+
+    platform: str
+    base_us: float
+    protected_us: float
+
+    @property
+    def overhead_factor(self) -> float:
+        return self.protected_us / self.base_us
+
+
+def redundancy_costs(
+    accel_cycles: float, clock_mhz: float, platform: str
+) -> CountermeasureCost:
+    """Cycle-doubling cost of the countermeasure on our accelerator."""
+    base = accel_cycles / clock_mhz
+    protected = (2 * accel_cycles + COMPARE_CYCLES) / clock_mhz
+    return CountermeasureCost(platform=platform, base_us=base, protected_us=protected)
+
+
+def pke_redundancy_cost(encrypt_us: float, platform: str) -> CountermeasureCost:
+    """The same countermeasure applied to a PKE client accelerator."""
+    return CountermeasureCost(platform=platform, base_us=encrypt_us, protected_us=2 * encrypt_us)
+
+
+def software_reference_check(
+    params: PastaParams, key: Sequence[int], nonce: int, counter: int, fault: FaultSpec
+) -> bool:
+    """True iff the fault actually perturbs the keystream (sanity helper)."""
+    clean = Pasta(params, key).keystream_block(nonce, counter)
+    faulty = keystream_with_fault(params, key, nonce, counter, fault)
+    return not np.array_equal(clean, faulty)

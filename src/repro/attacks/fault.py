@@ -1,0 +1,179 @@
+"""Fault-injection framework for PASTA (paper Sec. VI future scope, [30]).
+
+The paper's conclusion points at fault attacks — SASTA [30] shows a
+*single* fault ambushes HHE schemes — and asks what countermeasures cost.
+This module provides the attack side:
+
+* :class:`FaultSpec` describes a fault: skipping an S-box layer, skipping
+  *all* S-box layers, or corrupting one state element after a given layer.
+* :func:`keystream_with_fault` re-runs the permutation with the fault
+  applied (the golden cipher is untouched).
+* :func:`recover_key_from_linearized` demonstrates why the S-boxes are the
+  only thing standing between an attacker and the key: if a fault bypasses
+  every S-box, the permutation collapses to an affine map
+  ``KS = M_eff . K + c_eff`` whose coefficients are *public* (derived from
+  nonce/counter), and two faulty blocks suffice to solve for the full
+  2t-element key by Gaussian elimination.
+
+The countermeasure side (temporal redundancy and its cycle cost) lives in
+:mod:`repro.attacks.countermeasures`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError, SingularMatrixError
+from repro.ff.matrix import mat_inverse
+from repro.pasta import layers as L
+from repro.pasta.cipher import BlockMaterials, generate_block_materials
+from repro.pasta.params import PastaParams
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault.
+
+    kind:
+        ``"skip-sbox"``       — bypass the S-box of round ``round_index``;
+        ``"skip-all-sboxes"`` — bypass every S-box (full linearization);
+        ``"corrupt-element"`` — add ``delta`` to state element ``element``
+        right after the affine layer of ``round_index``.
+    """
+
+    kind: str
+    round_index: int = 0
+    element: int = 0
+    delta: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("skip-sbox", "skip-all-sboxes", "corrupt-element"):
+            raise ParameterError(f"unknown fault kind {self.kind!r}")
+
+
+def keystream_with_fault(
+    params: PastaParams,
+    key: Sequence[int],
+    nonce: int,
+    counter: int,
+    fault: Optional[FaultSpec] = None,
+    materials: Optional[BlockMaterials] = None,
+) -> np.ndarray:
+    """Keystream of one block with an optional fault injected."""
+    field = params.field
+    t = params.t
+    key_arr = field.array(key)
+    if key_arr.shape[0] != params.key_size:
+        raise ParameterError(f"key must have {params.key_size} elements")
+    if materials is None:
+        materials = generate_block_materials(params, nonce, counter)
+
+    xl = key_arr[:t].copy()
+    xr = key_arr[t:].copy()
+    for i in range(params.rounds):
+        layer = materials.layers[i]
+        xl = L.affine(field, materials.matrix_l(i), xl, layer.rc_l)
+        xr = L.affine(field, materials.matrix_r(i), xr, layer.rc_r)
+        if fault and fault.kind == "corrupt-element" and fault.round_index == i:
+            full = np.concatenate([xl, xr])
+            idx = fault.element % (2 * t)
+            full[idx] = field.add(int(full[idx]), fault.delta)
+            xl, xr = full[:t], full[t:]
+        xl, xr = L.mix(field, xl, xr)
+        full = np.concatenate([xl, xr])
+        skip = fault is not None and (
+            fault.kind == "skip-all-sboxes"
+            or (fault.kind == "skip-sbox" and fault.round_index == i)
+        )
+        if not skip:
+            if i < params.rounds - 1:
+                full = L.feistel_sbox(field, full)
+            else:
+                full = L.cube_sbox(field, full)
+        xl, xr = full[:t], full[t:]
+    final = materials.layers[params.rounds]
+    xl = L.affine(field, materials.matrix_l(params.rounds), xl, final.rc_l)
+    xr = L.affine(field, materials.matrix_r(params.rounds), xr, final.rc_r)
+    xl, _ = L.mix(field, xl, xr)
+    return L.truncate(xl)
+
+
+# -- linearization attack -----------------------------------------------------
+
+
+def _affine_map_of_block(
+    params: PastaParams, materials: BlockMaterials
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(M_eff, c_eff) of the S-box-free permutation: KS = M_eff . K + c_eff.
+
+    Composes, per layer, the block-diagonal matrix diag(M_L, M_R), the
+    round-constant offset, and the Mix matrix [[2I, I], [I, 2I]], then
+    truncates to the left half. All inputs are public.
+    """
+    field = params.field
+    t = params.t
+    n = 2 * t
+
+    # Running affine map: state = A . key + b
+    a = field.zeros(n, n)
+    for i in range(n):
+        a[i, i] = 1
+    b = field.zeros(n)
+
+    mix = field.zeros(n, n)
+    for i in range(t):
+        mix[i, i] = 2
+        mix[i, t + i] = 1
+        mix[t + i, i] = 1
+        mix[t + i, t + i] = 2
+
+    for layer_index in range(params.affine_layers):
+        layer = materials.layers[layer_index]
+        block = field.zeros(n, n)
+        block[:t, :t] = materials.matrix_l(layer_index)
+        block[t:, t:] = materials.matrix_r(layer_index)
+        rc = field.zeros(n)
+        rc[:t] = layer.rc_l
+        rc[t:] = layer.rc_r
+        a = field.mat_mul(block, a)
+        b = field.vec_add(field.mat_vec(block, b), rc)
+        a = field.mat_mul(mix, a)
+        b = field.mat_vec(mix, b)
+    return a[:t, :], b[:t]
+
+
+def recover_key_from_linearized(
+    params: PastaParams,
+    faulty_keystreams: Sequence[Tuple[int, int, np.ndarray]],
+) -> np.ndarray:
+    """Recover the full key from S-box-bypassed keystream blocks.
+
+    ``faulty_keystreams`` is a sequence of (nonce, counter, keystream)
+    triples obtained under the ``skip-all-sboxes`` fault. Each block gives
+    t linear equations over the 2t unknown key elements, so two blocks
+    suffice. Raises :class:`SingularMatrixError` if the stacked system is
+    singular (retry with another block — never observed in practice).
+    """
+    field = params.field
+    t = params.t
+    if len(faulty_keystreams) * t < 2 * t:
+        raise ParameterError("need at least two faulty blocks to determine 2t unknowns")
+
+    rows = field.zeros(2 * t, 2 * t)
+    rhs = field.zeros(2 * t)
+    filled = 0
+    for nonce, counter, keystream in faulty_keystreams:
+        if filled >= 2 * t:
+            break
+        materials = generate_block_materials(params, nonce, counter)
+        m_eff, c_eff = _affine_map_of_block(params, materials)
+        take = min(t, 2 * t - filled)
+        rows[filled : filled + take, :] = m_eff[:take, :]
+        rhs[filled : filled + take] = field.vec_sub(
+            field.coerce(np.asarray(keystream))[:take], c_eff[:take]
+        )
+        filled += take
+    return field.mat_vec(mat_inverse(rows, field), rhs)

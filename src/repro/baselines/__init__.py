@@ -1,0 +1,62 @@
+"""Baselines: CPU PASTA [9], prior PKE client accelerators, traditional SE."""
+
+from repro.baselines.aes import Aes128, AesOpCount
+from repro.baselines.comparison import (
+    ThisWorkMeasurement,
+    area_time_comparison,
+    cycle_reduction_vs_cpu,
+    per_element_speedup,
+    same_data_processing_time,
+    speedup_vs_cpu,
+)
+from repro.baselines.cpu_pasta import (
+    CPU_FREQ_MHZ,
+    CPU_PASTA_3,
+    CPU_PASTA_4,
+    CpuPastaBaseline,
+    cpu_baseline,
+    measure_python_reference,
+)
+from repro.baselines.pke_clients import (
+    ALL_PRIOR_WORKS,
+    ALOHA_HE,
+    ASIC_PRIOR_WORKS,
+    DIMATTEO23,
+    FPGA_PRIOR_WORKS,
+    LEE23,
+    RACE,
+    RISE,
+    PriorWork,
+    encryptions_needed,
+    pasta_multiplications,
+    pke_client_multiplications,
+)
+
+__all__ = [
+    "ALL_PRIOR_WORKS",
+    "ALOHA_HE",
+    "ASIC_PRIOR_WORKS",
+    "Aes128",
+    "AesOpCount",
+    "CPU_FREQ_MHZ",
+    "CPU_PASTA_3",
+    "CPU_PASTA_4",
+    "CpuPastaBaseline",
+    "DIMATTEO23",
+    "FPGA_PRIOR_WORKS",
+    "LEE23",
+    "PriorWork",
+    "RACE",
+    "RISE",
+    "ThisWorkMeasurement",
+    "area_time_comparison",
+    "cpu_baseline",
+    "cycle_reduction_vs_cpu",
+    "encryptions_needed",
+    "measure_python_reference",
+    "pasta_multiplications",
+    "per_element_speedup",
+    "pke_client_multiplications",
+    "same_data_processing_time",
+    "speedup_vs_cpu",
+]

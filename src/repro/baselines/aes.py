@@ -1,0 +1,145 @@
+"""AES-128 reference implementation (traditional symmetric encryption).
+
+Paper Sec. I-A contrasts HHE-enabling ciphers with traditional SE: AES
+works over Z_2 with cheap boolean operations and a table S-box, while
+PASTA needs wide modular arithmetic, invertible matrix generation, and
+SHAKE128. This module provides a from-scratch AES-128 (S-box derived from
+the GF(2^8) inverse + affine map, not transcribed) so the repository can
+*quantify* that contrast in an ablation benchmark.
+
+Validated against the FIPS-197 appendix test vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """GF(2^8) multiplication with the AES polynomial x^8+x^4+x^3+x+1."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        high = a & 0x80
+        a = (a << 1) & 0xFF
+        if high:
+            a ^= 0x1B
+        b >>= 1
+    return result
+
+
+def _gf_inverse(a: int) -> int:
+    if a == 0:
+        return 0
+    # a^(2^8 - 2) by square-and-multiply.
+    result = 1
+    power = a
+    exponent = 254
+    while exponent:
+        if exponent & 1:
+            result = _gf_mul(result, power)
+        power = _gf_mul(power, power)
+        exponent >>= 1
+    return result
+
+
+def _build_sbox() -> Tuple[List[int], List[int]]:
+    sbox = [0] * 256
+    inv = [0] * 256
+    for x in range(256):
+        b = _gf_inverse(x)
+        y = 0
+        for bit in range(8):
+            y |= (
+                ((b >> bit) ^ (b >> ((bit + 4) % 8)) ^ (b >> ((bit + 5) % 8))
+                 ^ (b >> ((bit + 6) % 8)) ^ (b >> ((bit + 7) % 8)) ^ (0x63 >> bit)) & 1
+            ) << bit
+        sbox[x] = y
+        inv[y] = x
+    return sbox, inv
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+_RCON = [0x01]
+while len(_RCON) < 10:
+    _RCON.append(_gf_mul(_RCON[-1], 2))
+
+
+@dataclass
+class AesOpCount:
+    """Boolean/byte operation counters for the SE-vs-HHE comparison."""
+
+    xors: int = 0
+    table_lookups: int = 0
+    gf_doublings: int = 0
+
+
+class Aes128:
+    """AES-128 ECB block primitive (for op-count comparison, not a mode)."""
+
+    def __init__(self, key: bytes):
+        if len(key) != 16:
+            raise ValueError(f"AES-128 key must be 16 bytes, got {len(key)}")
+        self.round_keys = self._expand_key(key)
+        self.ops = AesOpCount()
+
+    def _expand_key(self, key: bytes) -> List[List[int]]:
+        words = [list(key[i : i + 4]) for i in range(0, 16, 4)]
+        for i in range(4, 44):
+            temp = list(words[i - 1])
+            if i % 4 == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // 4 - 1]
+            words.append([a ^ b for a, b in zip(words[i - 4], temp)])
+        return [sum(words[4 * r : 4 * r + 4], []) for r in range(11)]
+
+    # State is column-major (FIPS-197): state[r + 4c].
+
+    def _add_round_key(self, state: List[int], round_index: int) -> List[int]:
+        self.ops.xors += 16
+        return [s ^ k for s, k in zip(state, self.round_keys[round_index])]
+
+    def _sub_bytes(self, state: List[int]) -> List[int]:
+        self.ops.table_lookups += 16
+        return [SBOX[b] for b in state]
+
+    def _shift_rows(self, state: List[int]) -> List[int]:
+        out = list(state)
+        for r in range(1, 4):
+            row = [state[r + 4 * c] for c in range(4)]
+            row = row[r:] + row[:r]
+            for c in range(4):
+                out[r + 4 * c] = row[c]
+        return out
+
+    def _mix_columns(self, state: List[int]) -> List[int]:
+        out = [0] * 16
+        for c in range(4):
+            col = state[4 * c : 4 * c + 4]
+            out[4 * c + 0] = _gf_mul(col[0], 2) ^ _gf_mul(col[1], 3) ^ col[2] ^ col[3]
+            out[4 * c + 1] = col[0] ^ _gf_mul(col[1], 2) ^ _gf_mul(col[2], 3) ^ col[3]
+            out[4 * c + 2] = col[0] ^ col[1] ^ _gf_mul(col[2], 2) ^ _gf_mul(col[3], 3)
+            out[4 * c + 3] = _gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ _gf_mul(col[3], 2)
+            self.ops.xors += 12
+            self.ops.gf_doublings += 8
+        return out
+
+    def encrypt_block(self, plaintext: bytes) -> bytes:
+        if len(plaintext) != 16:
+            raise ValueError("AES block is 16 bytes")
+        # Flat input order coincides with the state's r + 4c layout.
+        state = list(plaintext)
+        state = self._add_round_key(state, 0)
+        for round_index in range(1, 10):
+            state = self._sub_bytes(state)
+            state = self._shift_rows(state)
+            state = self._mix_columns(state)
+            state = self._add_round_key(state, round_index)
+        state = self._sub_bytes(state)
+        state = self._shift_rows(state)
+        state = self._add_round_key(state, 10)
+        return bytes(state)

@@ -1,0 +1,99 @@
+"""Prior FHE client-side (public-key) accelerators — the Table III baselines.
+
+These works accelerate RLWE public-key encryption (NTT-dominated) for the
+FHE client; the paper compares its HHE symmetric-encryption accelerator
+against their published numbers. We model each work as a dataclass with
+its published resources and per-encryption latency, plus the operation
+count model of paper Sec. I-A used to argue why PKE encryption is
+expensive: ~2^19 modular multiplications per encryption versus ~2^18 for
+one PASTA-3 block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.pasta.params import PastaParams
+
+
+@dataclass(frozen=True)
+class PriorWork:
+    """One row of Table III (published numbers)."""
+
+    name: str
+    reference: str
+    platform: str
+    kind: str  #: "fpga" | "asic" | "riscv-soc"
+    encrypt_us: float  #: latency of one encryption
+    elements: int  #: plaintext elements packed per encryption
+    klut: Optional[float] = None
+    kff: Optional[float] = None
+    dsp: Optional[int] = None
+    bram: Optional[float] = None
+
+    @property
+    def us_per_element(self) -> float:
+        return self.encrypt_us / self.elements
+
+
+#: FPGA-based PKE client accelerators (upper half of Table III).
+DIMATTEO23 = PriorWork(
+    name="SEAL-embedded NTT", reference="[21]", platform="Zynq US+", kind="fpga",
+    encrypt_us=7_790.0, elements=1 << 12,
+)
+LEE23 = PriorWork(
+    name="CKKS enc/dec", reference="[22]", platform="AlveoU250", kind="fpga",
+    encrypt_us=16_900.0, elements=1 << 15,
+    klut=1_179.0, kff=1_036.0, dsp=12_288, bram=828.5,
+)
+ALOHA_HE = PriorWork(
+    name="Aloha-HE", reference="[18]", platform="Kintex-7", kind="fpga",
+    encrypt_us=1_870.0, elements=1 << 12,
+    klut=20.7, kff=17.6, dsp=100, bram=82.5,
+)
+
+#: RISC-V / ASIC PKE client accelerators (lower half of Table III).
+RACE = PriorWork(
+    name="RACE", reference="[20]", platform="12nm", kind="riscv-soc",
+    encrypt_us=110_000.0, elements=1 << 12,
+)
+RISE = PriorWork(
+    name="RISE", reference="[19]", platform="12nm", kind="riscv-soc",
+    encrypt_us=20_000.0, elements=1 << 12,
+)
+
+FPGA_PRIOR_WORKS: List[PriorWork] = [DIMATTEO23, LEE23, ALOHA_HE]
+ASIC_PRIOR_WORKS: List[PriorWork] = [RACE, RISE]
+ALL_PRIOR_WORKS: List[PriorWork] = FPGA_PRIOR_WORKS + ASIC_PRIOR_WORKS
+
+
+# -- Sec. I-A operation-count model ------------------------------------------------
+
+
+def pke_client_multiplications(n: int = 1 << 13, moduli: int = 3, ntts_per_modulus: int = 3) -> int:
+    """Modular multiplications of one RLWE PKE client encryption.
+
+    Each length-N NTT costs N/2 * log2 N butterfly multiplications; the
+    client runs three transforms per modulus over three moduli
+    (paper Sec. I-A: "the total number of multiplications required is
+    ~2^19" for N = 2^13).
+    """
+    per_ntt = (n // 2) * (n.bit_length() - 1)
+    return moduli * ntts_per_modulus * per_ntt
+
+
+def pasta_multiplications(params: PastaParams) -> int:
+    """Modular multiplications of one PASTA block (matrix gen + mat-vec).
+
+    Per affine layer and state half: t^2 MACs for generation plus t^2 for
+    the product. Sec. I-A evaluates this for PASTA-3 as ~2^18. S-box
+    multiplications (O(t) per round) are negligible and excluded, matching
+    the paper's count.
+    """
+    return params.affine_layers * 2 * 2 * params.t * params.t
+
+
+def encryptions_needed(params: PastaParams, elements: int) -> int:
+    """PASTA blocks needed to cover ``elements`` plaintext elements."""
+    return -(-elements // params.t)

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the PASTA-on-Edge reproduction library."""
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ParameterError(ReproError):
+    """An invalid or inconsistent parameter set was supplied."""
+
+
+class SingularMatrixError(ReproError):
+    """A matrix expected to be invertible over F_p turned out singular."""
+
+
+class NoiseBudgetExhausted(ReproError):
+    """A BFV ciphertext no longer decrypts correctly (noise overflow)."""
+
+
+class SimulationError(ReproError):
+    """The hardware/SoC simulation reached an inconsistent state."""
+
+
+class AssemblerError(ReproError):
+    """The RV32 assembler rejected an input program."""
+
+
+class TrapError(SimulationError):
+    """The RISC-V core raised a trap (illegal instruction, misaligned access...)."""

@@ -1,0 +1,45 @@
+"""Evaluation harness: one generator per paper table/figure + ablations.
+
+``EXPERIMENTS`` maps experiment ids to generator callables; each returns an
+:class:`~repro.eval.result.ExperimentResult`. The benchmark suite and the
+EXPERIMENTS.md report are both driven from this registry.
+"""
+
+from typing import Callable, Dict
+
+from repro.eval import (
+    ablations,
+    countermeasures,
+    energy,
+    fig7,
+    fig8,
+    hhe_cost,
+    keccak_budget,
+    table1,
+    table2,
+    table3,
+    variants,
+)
+from repro.eval.result import ExperimentResult
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1.generate,
+    "table2": table2.generate,
+    "table3": table3.generate,
+    "fig7": fig7.generate,
+    "fig8": fig8.generate,
+    "keccak_budget": keccak_budget.generate,
+    "ablations": ablations.generate,
+    "hhe_cost": hhe_cost.generate,
+    "variants": variants.generate,
+    "countermeasures": countermeasures.generate,
+    "energy": energy.generate,
+}
+
+
+def run_all(**kwargs) -> Dict[str, ExperimentResult]:
+    """Run every experiment generator (used by the report writer)."""
+    return {name: fn(**kwargs) for name, fn in EXPERIMENTS.items()}
+
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "run_all"]

@@ -1,0 +1,101 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+1. **XOF core**: overlapped (double-buffered) vs naive Keccak squeeze.
+2. **Variant trade-off**: PASTA-3 vs PASTA-4 area-time product and
+   equal-data processing time (Sec. IV-B's "PASTA-4 should be preferred").
+3. **Bit-width scaling**: area growth at w = 17/33/54 against the paper's
+   ~2.1x / ~4.3x ASIC claim.
+4. **Resource sharing**: DSP/adder cost of instantiating dedicated S-box /
+   RC-add arithmetic instead of reusing the MatMul arrays.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.comparison import ThisWorkMeasurement, same_data_processing_time
+from repro.eval.result import ExperimentResult
+from repro.eval.table2 import measure_accel_cycles
+from repro.hw.area import area_time_product, asic_area_mm2, dsp_count, dsp_per_multiplier, fpga_area
+from repro.keccak.hw_model import NaiveKeccakCore, OverlappedKeccakCore
+from repro.pasta.params import PASTA_3, PASTA_4, PASTA_4_33, PASTA_4_54
+
+
+def generate(n_nonces: int = 3, **_kwargs) -> ExperimentResult:
+    rows = []
+    notes = []
+
+    # 1. XOF core ablation (PASTA-4).
+    from repro.eval.keccak_budget import measured_average
+    from repro.keccak import UnrolledNaiveKeccakCore
+
+    _, overlapped = measured_average(PASTA_4, OverlappedKeccakCore, n_nonces)
+    _, naive = measured_average(PASTA_4, NaiveKeccakCore, n_nonces)
+    _, unrolled = measured_average(PASTA_4, UnrolledNaiveKeccakCore, n_nonces)
+    rows.append(["XOF core", "overlapped (this design)", round(overlapped), "cycles/block"])
+    rows.append(["XOF core", "naive", round(naive), "cycles/block"])
+    rows.append(["XOF core", "2x round-unrolled, serial", round(unrolled), "cycles/block"])
+    notes.append(
+        f"Double-buffered squeeze buys {naive / overlapped:.2f}x fewer cycles at the "
+        "cost of a second 1600-bit Keccak state register."
+    )
+    notes.append(
+        f"Round-unrolling the serial core ({unrolled / overlapped:.2f}x vs overlapped) "
+        "still loses: the 21-cycle squeeze, not the permutation, is the critical "
+        "path — justifying the paper's choice to skip unrolling (Sec. III)."
+    )
+
+    # 2. PASTA-3 vs PASTA-4 area-time.
+    cycles3 = measure_accel_cycles(PASTA_3, n_nonces)
+    cycles4 = measure_accel_cycles(PASTA_4, n_nonces)
+    at3 = area_time_product(PASTA_3, round(cycles3))
+    at4 = area_time_product(PASTA_4, round(cycles4))
+    rows.append(["Area-time (LUT*us)", "PASTA-3", round(at3), ""])
+    rows.append(["Area-time (LUT*us)", "PASTA-4", round(at4), ""])
+    tw3 = ThisWorkMeasurement(PASTA_3, cycles3, cycles3)
+    tw4 = ThisWorkMeasurement(PASTA_4, cycles4, cycles4)
+    equal = same_data_processing_time(tw3, tw4, elements=1 << 12)
+    rows.append(["Encrypt 2^12 elems (us)", "PASTA-3", round(equal[PASTA_3.name], 1), "FPGA"])
+    rows.append(["Encrypt 2^12 elems (us)", "PASTA-4", round(equal[PASTA_4.name], 1), "FPGA"])
+    faster = 1 - equal[PASTA_3.name] / equal[PASTA_4.name]
+    notes.append(
+        f"PASTA-3 processes equal data {100 * faster:.0f}% faster (paper: 22%) but its "
+        f"area-time product is {at3 / at4:.1f}x PASTA-4's — PASTA-4 wins for clients."
+    )
+
+    # 3. Bit-width scaling.
+    base_lut = fpga_area(PASTA_4).lut
+    for params in (PASTA_4, PASTA_4_33, PASTA_4_54):
+        area = fpga_area(params)
+        rows.append(
+            [
+                "Bit-width scaling",
+                f"w={params.modulus_bits}",
+                area.lut,
+                f"LUT x{area.lut / base_lut:.2f}; ASIC x"
+                f"{asic_area_mm2(params, '28nm') / asic_area_mm2(PASTA_4, '28nm'):.1f}",
+            ]
+        )
+    notes.append(
+        "Performance is bit-width independent (same cycle counts); only area "
+        "scales — the paper's ~2.1x / ~4.3x ASIC factors are anchored, FPGA "
+        "LUT ratios are measured from Table I."
+    )
+
+    # 4. Resource sharing: a non-shared design instantiates a third set of t
+    # multipliers (S-box) and a second set of t adders (Mix/RC-add).
+    shared_dsp = dsp_count(PASTA_4)
+    extra_dsp = PASTA_4.t * dsp_per_multiplier(PASTA_4.modulus_bits)
+    rows.append(["Resource sharing", "shared (this design)", shared_dsp, "DSPs"])
+    rows.append(["Resource sharing", "dedicated S-box mults", shared_dsp + extra_dsp, "DSPs"])
+    notes.append(
+        f"Reusing the MatMul multipliers for the S-boxes saves {extra_dsp} DSPs "
+        f"({100 * extra_dsp / (shared_dsp + extra_dsp):.0f}% of the multiplier array) "
+        "with no cycle cost, since S-boxes run while the XOF refills."
+    )
+
+    return ExperimentResult(
+        experiment_id="Ablations",
+        title="Design-choice ablations (this reproduction)",
+        headers=["Ablation", "Configuration", "Value", "Unit/Notes"],
+        rows=rows,
+        notes=notes,
+    )

@@ -1,0 +1,86 @@
+"""Sec. IV-B analysis: Keccak permutation counts and cycle derivations.
+
+Reproduces the paper's arithmetic — PASTA-4 needs >= 31 permutations for
+640 coefficients, ~60 after ~2x rejection, 60*(21+5) = 1,560 cc plus the
+t = 32 tail; PASTA-3 ~186 permutations — and compares it against measured
+averages from the simulator and the analytic expectation.
+"""
+
+from __future__ import annotations
+
+from repro.eval.result import ExperimentResult
+from repro.hw.accelerator import PastaAccelerator
+from repro.hw.scheduler import paper_cycle_model
+from repro.keccak.hw_model import WORDS_PER_BATCH, NaiveKeccakCore, OverlappedKeccakCore
+from repro.pasta.cipher import random_key
+from repro.pasta.params import PASTA_3, PASTA_4, PastaParams
+
+#: Paper's average permutation counts (Sec. IV-B).
+PAPER_PERMUTATIONS = {"pasta4-17": 60, "pasta3-17": 186}
+
+
+def minimum_permutations(params: PastaParams) -> int:
+    """Permutations with no rejection at all (paper: 31 for PASTA-4)."""
+    return -(-params.coefficients_per_block // WORDS_PER_BATCH)
+
+
+def expected_permutations(params: PastaParams) -> float:
+    """Expected permutations given the exact acceptance probability."""
+    expected_words = params.coefficients_per_block * params.sampler.expected_words_per_element
+    return expected_words / WORDS_PER_BATCH
+
+
+def measured_average(params: PastaParams, core_cls, n_nonces: int = 5):
+    """(avg permutations, avg cycles) over nonces with the given XOF core."""
+    accel = PastaAccelerator(params, random_key(params), core_cls=core_cls)
+    perms = 0
+    cycles = 0
+    for nonce in range(n_nonces):
+        _, report = accel.keystream_block(nonce, 0)
+        perms += report.permutations
+        cycles += report.total_cycles
+    return perms / n_nonces, cycles / n_nonces
+
+
+def generate(n_nonces: int = 5, **_kwargs) -> ExperimentResult:
+    rows = []
+    notes = []
+    for params in (PASTA_4, PASTA_3):
+        scheme = "PASTA-4" if params.t == 32 else "PASTA-3"
+        min_perms = minimum_permutations(params)
+        exp_perms = expected_permutations(params)
+        meas_perms, meas_cycles = measured_average(params, OverlappedKeccakCore, n_nonces)
+        _, naive_cycles = measured_average(params, NaiveKeccakCore, max(2, n_nonces // 2))
+        paper_perms = PAPER_PERMUTATIONS[params.name]
+        rows.append(
+            [
+                scheme,
+                params.coefficients_per_block,
+                min_perms,
+                round(exp_perms, 1),
+                round(meas_perms, 1),
+                paper_perms,
+                round(meas_cycles),
+                paper_cycle_model(params, paper_perms),
+                round(naive_cycles),
+            ]
+        )
+        notes.append(
+            f"{scheme}: naive/overlapped cycle ratio {naive_cycles / meas_cycles:.2f}x "
+            "(paper: 'the clock cycle almost doubles for a naive Keccak implementation')."
+        )
+    notes.append(
+        "The paper's 186-permutation average for PASTA-3 sits ~5% below the "
+        "analytic expectation (195.6 at acceptance 65537/2^17); our measured "
+        "averages track the expectation. See DESIGN.md Sec. 5."
+    )
+    return ExperimentResult(
+        experiment_id="Sec. IV-B",
+        title="Keccak budget: permutations and cycle derivation",
+        headers=[
+            "Scheme", "Coeffs", "Min perms", "Expected", "Measured", "Paper",
+            "Cycles (meas)", "Cycles (paper model)", "Cycles (naive)",
+        ],
+        rows=rows,
+        notes=notes,
+    )

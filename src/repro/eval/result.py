@@ -1,0 +1,31 @@
+"""Common result container for the per-table/figure experiment generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.utils.tables import format_table
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure: structured rows plus provenance notes."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[Sequence[object]]
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Human-readable rendering (what the benchmark harness prints)."""
+        parts = [format_table(self.headers, self.rows, title=f"{self.experiment_id}: {self.title}")]
+        for note in self.notes:
+            parts.append(f"  * {note}")
+        return "\n".join(parts)
+
+    def column(self, header: str) -> List[object]:
+        """Extract one column by header name (for assertions in tests)."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]

@@ -1,0 +1,46 @@
+"""Finite-field arithmetic substrate (primes, vectors, matrices, sampling)."""
+
+from repro.ff.matrix import (
+    companion_matrix,
+    identity,
+    is_invertible,
+    mat_det,
+    mat_inverse,
+    mat_rank,
+)
+from repro.ff.params import P17, P33, P54, P60, TABLE1_MODULI
+from repro.ff.primality import (
+    find_fermat_like_prime,
+    find_ntt_prime,
+    find_pseudo_mersenne_prime,
+    is_prime,
+    prime_factors,
+)
+from repro.ff.prime import PrimeField
+from repro.ff.reduction import FermatReducer, PseudoMersenneReducer, make_reducer
+from repro.ff.sampling import RejectionSampler, SamplerStats
+
+__all__ = [
+    "P17",
+    "P33",
+    "P54",
+    "P60",
+    "TABLE1_MODULI",
+    "FermatReducer",
+    "PrimeField",
+    "PseudoMersenneReducer",
+    "RejectionSampler",
+    "SamplerStats",
+    "companion_matrix",
+    "find_fermat_like_prime",
+    "find_ntt_prime",
+    "find_pseudo_mersenne_prime",
+    "identity",
+    "is_invertible",
+    "is_prime",
+    "make_reducer",
+    "mat_det",
+    "mat_inverse",
+    "mat_rank",
+    "prime_factors",
+]

@@ -1,0 +1,120 @@
+"""Dense matrix algebra over F_p: inverse, determinant, rank.
+
+Used to *verify* the invertibility claim of PASTA's sequential matrix
+generation (paper Sec. II-C) and by the BFV/HHE layers. The hardware model
+never materializes full matrices (that is the point of the paper's MatGen
+unit); these routines exist for cross-checking and for the software
+reference cipher.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import SingularMatrixError
+from repro.ff.prime import PrimeField
+
+
+def _as_object_matrix(m: np.ndarray) -> np.ndarray:
+    out = np.array(m, dtype=object)
+    if out.ndim != 2 or out.shape[0] != out.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {out.shape}")
+    return out
+
+
+def _forward_eliminate(m: np.ndarray, field: PrimeField) -> Tuple[np.ndarray, np.ndarray, int, int]:
+    """Gauss-Jordan elimination returning (reduced, inverse-accumulator, rank, det).
+
+    Works on object-dtype copies so arbitrary primes are exact.
+    """
+    p = field.p
+    n = m.shape[0]
+    a = _as_object_matrix(m) % p
+    inv = np.zeros((n, n), dtype=object)
+    for i in range(n):
+        inv[i, i] = 1
+    det = 1
+    rank = 0
+    row = 0
+    for col in range(n):
+        pivot = None
+        for r in range(row, n):
+            if a[r, col] % p != 0:
+                pivot = r
+                break
+        if pivot is None:
+            det = 0
+            continue
+        if pivot != row:
+            a[[row, pivot]] = a[[pivot, row]]
+            inv[[row, pivot]] = inv[[pivot, row]]
+            det = (-det) % p
+        pivot_val = int(a[row, col])
+        det = (det * pivot_val) % p
+        pivot_inv = field.inv(pivot_val)
+        a[row] = (a[row] * pivot_inv) % p
+        inv[row] = (inv[row] * pivot_inv) % p
+        for r in range(n):
+            if r != row and a[r, col] % p != 0:
+                factor = int(a[r, col])
+                a[r] = (a[r] - factor * a[row]) % p
+                inv[r] = (inv[r] - factor * inv[row]) % p
+        rank += 1
+        row += 1
+        if row == n:
+            break
+    if rank < n:
+        det = 0
+    return a, inv, rank, det % p
+
+
+def mat_rank(m: np.ndarray, field: PrimeField) -> int:
+    """Rank of ``m`` over F_p."""
+    _, _, rank, _ = _forward_eliminate(m, field)
+    return rank
+
+
+def mat_det(m: np.ndarray, field: PrimeField) -> int:
+    """Determinant of ``m`` over F_p."""
+    _, _, _, det = _forward_eliminate(m, field)
+    return det
+
+
+def is_invertible(m: np.ndarray, field: PrimeField) -> bool:
+    """True iff ``m`` is invertible over F_p."""
+    return mat_rank(m, field) == m.shape[0]
+
+
+def mat_inverse(m: np.ndarray, field: PrimeField) -> np.ndarray:
+    """Inverse of ``m`` over F_p (raises :class:`SingularMatrixError`)."""
+    n = np.asarray(m).shape[0]
+    _, inv, rank, _ = _forward_eliminate(m, field)
+    if rank < n:
+        raise SingularMatrixError(f"matrix of rank {rank} < {n} has no inverse")
+    return field.coerce(inv)
+
+
+def identity(n: int, field: PrimeField) -> np.ndarray:
+    """Identity matrix in the field's canonical dtype."""
+    eye = field.zeros(n, n)
+    for i in range(n):
+        eye[i, i] = 1
+    return eye
+
+
+def companion_matrix(alpha: np.ndarray, field: PrimeField) -> np.ndarray:
+    """Companion-style matrix C of paper Eq. (1).
+
+    ``C`` has ones on the superdiagonal and ``alpha`` as its last row, so
+    that left-multiplying a row vector by ``C`` performs one step of the
+    sequential-matrix recurrence: ``row_{j+1} = row_j . C``.
+    """
+    alpha = field.coerce(np.asarray(alpha))
+    t = alpha.shape[0]
+    c = field.zeros(t, t)
+    for i in range(t - 1):
+        c[i, i + 1] = 1
+    c[t - 1, :] = alpha
+    return c

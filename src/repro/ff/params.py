@@ -1,0 +1,46 @@
+"""Named moduli matching the paper's evaluated bit-widths.
+
+Table I evaluates the datapath at omega in {17, 33, 54} bits, with the
+17-bit modulus fixed to 65,537 = 0x10001 (the FHE plaintext prime used by
+PASTA [9]). The wider moduli in [9] are FHE plaintext primes too; here we
+pick structured primes of the same widths so the add-shift reduction unit
+of Sec. III-D applies:
+
+* ``P17``: 65537 = 2^16 + 1 (Fermat-structured; also NTT-friendly).
+* ``P33``: the largest 33-bit prime = 1 (mod 2^17)   (NTT-friendly, so the
+  BFV substrate can use the same plaintext modulus).
+* ``P54``: the pseudo-Mersenne prime 2^54 - c with smallest c.
+* ``P60``: 60-bit NTT-friendly prime for BFV ciphertext moduli.
+
+All constants are *computed* (deterministically) rather than hard-coded so
+their claimed structure is checked at import time.
+"""
+
+from __future__ import annotations
+
+from repro.ff.primality import (
+    find_fermat_like_prime,
+    find_ntt_prime,
+    find_pseudo_mersenne_prime,
+    is_prime,
+)
+
+P17 = find_fermat_like_prime(17)
+if P17 != 65537:  # pragma: no cover - structural invariant
+    raise AssertionError("expected the 17-bit Fermat prime 65537")
+
+#: 33-bit NTT-friendly prime (supports negacyclic NTTs up to length 2^16).
+P33 = find_ntt_prime(33, 1 << 17)
+
+#: 54-bit pseudo-Mersenne prime (cheapest add-shift reduction at this width).
+P54 = find_pseudo_mersenne_prime(54)
+
+#: 60-bit NTT-friendly prime used as a BFV ciphertext modulus limb.
+P60 = find_ntt_prime(60, 1 << 17)
+
+#: The bit-widths evaluated in Table I, mapped to this library's moduli.
+TABLE1_MODULI = {17: P17, 33: P33, 54: P54}
+
+for _name, _p in (("P17", P17), ("P33", P33), ("P54", P54), ("P60", P60)):
+    if not is_prime(_p):  # pragma: no cover - structural invariant
+        raise AssertionError(f"{_name} = {_p} is not prime")

@@ -1,0 +1,109 @@
+"""Primality testing and prime search for PASTA / FHE moduli.
+
+Deterministic Miller-Rabin for 64-bit integers (the witness set
+{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} is proven complete below
+3.3 * 10^24, comfortably covering every modulus this library uses), plus
+helpers to search for the structured primes the paper relies on:
+
+* *pseudo-Mersenne* primes ``2^k - c`` (cheap add-shift reduction in
+  hardware; Sec. III-D of the paper), and
+* *NTT-friendly* primes ``p = 1 (mod 2N)`` required by the BFV substrate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+)
+
+
+def is_prime(n: int) -> bool:
+    """Return True iff ``n`` is prime (deterministic for ``n < 3.3e24``)."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_WITNESSES:
+        if a % n == 0:
+            continue
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def find_pseudo_mersenne_prime(bits: int, max_c: int = 1 << 20) -> int:
+    """Return the prime ``2^bits - c`` with the smallest ``c >= 1``.
+
+    These primes admit the add-shift reduction modeled in
+    :mod:`repro.ff.reduction`. Raises ``ValueError`` if no such prime has
+    ``c <= max_c`` (never happens for the bit sizes used here).
+    """
+    if bits < 2:
+        raise ValueError(f"bits must be >= 2, got {bits}")
+    base = 1 << bits
+    for c in range(1, max_c):
+        candidate = base - c
+        if is_prime(candidate):
+            return candidate
+    raise ValueError(f"no pseudo-Mersenne prime 2^{bits} - c with c <= {max_c}")
+
+
+def find_ntt_prime(bits: int, ntt_order: int, max_tries: int = 1 << 16) -> int:
+    """Return the largest prime below ``2^bits`` with ``p = 1 (mod ntt_order)``.
+
+    ``ntt_order`` must be a power of two (it is ``2N`` for a negacyclic NTT
+    of length ``N``).
+    """
+    if ntt_order & (ntt_order - 1) != 0:
+        raise ValueError(f"ntt_order must be a power of two, got {ntt_order}")
+    top = 1 << bits
+    candidate = top - ((top - 1) % ntt_order)  # largest value = 1 (mod order) below 2^bits
+    for _ in range(max_tries):
+        if candidate.bit_length() < bits:
+            break
+        if is_prime(candidate):
+            return candidate
+        candidate -= ntt_order
+    raise ValueError(f"no {bits}-bit prime = 1 mod {ntt_order} found")
+
+
+def find_fermat_like_prime(bits: int) -> Optional[int]:
+    """Return ``2^(bits-1) + 1`` if prime (e.g. 65537 for ``bits = 17``)."""
+    candidate = (1 << (bits - 1)) + 1
+    return candidate if is_prime(candidate) else None
+
+
+def prime_factors(n: int) -> List[int]:
+    """Return the distinct prime factors of ``n`` (trial division; n <= 2^64)."""
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    factors: List[int] = []
+    m = n
+    p = 2
+    while p * p <= m:
+        if m % p == 0:
+            factors.append(p)
+            while m % p == 0:
+                m //= p
+        p += 1 if p == 2 else 2
+    if m > 1:
+        factors.append(m)
+    return factors

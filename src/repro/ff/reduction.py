@@ -1,0 +1,128 @@
+"""Behavioral models of the hardware modular-reduction units.
+
+Sec. III-D of the paper: *"the moduli chosen by the authors in [9] have a
+Mersenne structure (e.g., 17-bit prime 65,537), enabling the use of an
+add-shift-based modular reduction unit following each multiplication."*
+
+Two structured reducers are modeled:
+
+* :class:`FermatReducer` for primes ``p = 2^k + 1`` (65537 = 0x10001):
+  ``2^k = -1 (mod p)``, so a double-width product is folded by subtracting
+  the high half from the low half — one subtraction plus a conditional add.
+* :class:`PseudoMersenneReducer` for primes ``p = 2^k - c`` with small c:
+  ``2^k = c (mod p)``, so the high half is multiplied by the small constant
+  ``c`` (a few shift-adds) and added to the low half; two folding rounds
+  plus a conditional subtract suffice for a double-width input.
+
+Both count their primitive operations so the area/energy model can charge
+the reduction logic, and both are property-tested against ``x % p``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.ff.primality import is_prime
+
+
+@dataclass
+class ReductionStats:
+    """Primitive-operation counters for a reduction unit."""
+
+    reductions: int = 0
+    adds: int = 0
+    shifts: int = 0
+    conditional_fixups: int = 0
+
+    def merged_with(self, other: "ReductionStats") -> "ReductionStats":
+        return ReductionStats(
+            reductions=self.reductions + other.reductions,
+            adds=self.adds + other.adds,
+            shifts=self.shifts + other.shifts,
+            conditional_fixups=self.conditional_fixups + other.conditional_fixups,
+        )
+
+
+class FermatReducer:
+    """Add-shift reduction for a Fermat-structured prime ``p = 2^k + 1``."""
+
+    def __init__(self, p: int):
+        k = (p - 1).bit_length() - 1
+        if p != (1 << k) + 1 or not is_prime(p):
+            raise ParameterError(f"{p} is not a Fermat-structured prime 2^k + 1")
+        self.p = p
+        self.k = k
+        self.stats = ReductionStats()
+
+    def reduce(self, x: int) -> int:
+        """Reduce ``0 <= x < p^2`` (a product of two reduced elements)."""
+        if x < 0:
+            raise ValueError("reducer expects a non-negative product")
+        self.stats.reductions += 1
+        mask = (1 << self.k) - 1
+        # Fold 2^k = -1 repeatedly: x = lo - hi (mod p). Once a fold goes
+        # negative, adding p lands in [0, p) and we are done — re-entering
+        # the loop there would oscillate on the value p - 1 = 2^k.
+        acc = x
+        while acc >> self.k:
+            lo = acc & mask
+            hi = acc >> self.k
+            acc = lo - hi
+            self.stats.adds += 1
+            self.stats.shifts += 1
+            if acc < 0:
+                while acc < 0:
+                    acc += self.p
+                    self.stats.conditional_fixups += 1
+                break
+        if acc >= self.p:
+            acc -= self.p
+            self.stats.conditional_fixups += 1
+        return acc
+
+
+class PseudoMersenneReducer:
+    """Add-shift reduction for a pseudo-Mersenne prime ``p = 2^k - c``."""
+
+    def __init__(self, p: int):
+        k = p.bit_length()
+        c = (1 << k) - p
+        if c <= 0 or not is_prime(p):
+            raise ParameterError(f"{p} is not a pseudo-Mersenne prime 2^k - c")
+        self.p = p
+        self.k = k
+        self.c = c
+        # Number of set bits in c = number of shift-add terms for hi * c.
+        self._c_weight = bin(c).count("1")
+        self.stats = ReductionStats()
+
+    def reduce(self, x: int) -> int:
+        """Reduce ``0 <= x < p^2`` to [0, p)."""
+        if x < 0:
+            raise ValueError("reducer expects a non-negative product")
+        self.stats.reductions += 1
+        mask = (1 << self.k) - 1
+        acc = x
+        while acc >> self.k:
+            lo = acc & mask
+            hi = acc >> self.k
+            acc = lo + hi * self.c  # hi * c realized as c_weight shift-adds
+            self.stats.shifts += self._c_weight
+            self.stats.adds += self._c_weight
+        while acc >= self.p:
+            acc -= self.p
+            self.stats.conditional_fixups += 1
+        return acc
+
+
+def make_reducer(p: int):
+    """Pick the structured reducer matching ``p``'s shape.
+
+    Fermat form is preferred (it is what 65537 uses); otherwise the prime
+    must be pseudo-Mersenne with the canonical bit length.
+    """
+    k = (p - 1).bit_length() - 1
+    if p == (1 << k) + 1:
+        return FermatReducer(p)
+    return PseudoMersenneReducer(p)

@@ -1,0 +1,32 @@
+"""FHE substrate: negacyclic NTT, ring arithmetic, and textbook BFV."""
+
+from repro.fhe.batching import BatchEncoder
+from repro.fhe.bfv import (
+    Bfv,
+    BfvParams,
+    Ciphertext,
+    PublicKey,
+    RelinKey,
+    SecretKey,
+    toy_parameters,
+)
+from repro.fhe.ntt import NegacyclicNtt
+from repro.fhe.poly import Rq, centered, convolve_signed, negacyclic_mul_exact
+from repro.fhe.rng import PolyRng
+
+__all__ = [
+    "BatchEncoder",
+    "Bfv",
+    "BfvParams",
+    "Ciphertext",
+    "NegacyclicNtt",
+    "PolyRng",
+    "PublicKey",
+    "RelinKey",
+    "Rq",
+    "SecretKey",
+    "centered",
+    "convolve_signed",
+    "negacyclic_mul_exact",
+    "toy_parameters",
+]

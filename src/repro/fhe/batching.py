@@ -1,0 +1,49 @@
+"""BFV slot batching (SIMD) over the plaintext ring Z_p[x]/(x^N + 1).
+
+PASTA's plaintext prime 65537 satisfies ``p = 1 (mod 2N)`` for every ring
+degree this library uses, so ``x^N + 1`` splits completely mod p and the
+plaintext ring is isomorphic to N independent Z_p *slots*. Encoding is the
+inverse negacyclic NTT mod p; decoding the forward transform. Ciphertext
+addition/multiplication then act slot-wise — the mechanism the HHE server
+uses to transcipher many PASTA blocks with one circuit evaluation
+(:mod:`repro.hhe.batched`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ParameterError
+from repro.fhe.ntt import NegacyclicNtt
+
+
+class BatchEncoder:
+    """Encode/decode Z_p slot vectors into plaintext polynomials."""
+
+    def __init__(self, n: int, p: int):
+        # NegacyclicNtt validates the p = 1 (mod 2N) requirement.
+        self.ntt = NegacyclicNtt(n, p)
+        self.n = n
+        self.p = p
+
+    def encode(self, values: Sequence[int]) -> List[int]:
+        """Slot vector (length <= N, zero-padded) -> plaintext polynomial."""
+        if len(values) > self.n:
+            raise ParameterError(f"at most {self.n} slots, got {len(values)}")
+        padded = [int(v) % self.p for v in values] + [0] * (self.n - len(values))
+        return self.ntt.inverse(padded)
+
+    def decode(self, poly: Sequence[int]) -> List[int]:
+        """Plaintext polynomial -> full N-slot vector."""
+        return self.ntt.forward([int(c) % self.p for c in poly])
+
+    def constant(self, value: int) -> List[int]:
+        """Encode the same value into every slot (= the constant polynomial).
+
+        A constant polynomial evaluates identically at every root, so no
+        transform is needed — this is why scalar ``mul_plain`` composes
+        with batched ciphertexts.
+        """
+        poly = [0] * self.n
+        poly[0] = int(value) % self.p
+        return poly

@@ -1,0 +1,301 @@
+"""Textbook BFV (Fan-Vercauteren) over R_q = Z_q[x]/(x^N + 1).
+
+Implemented from the original scheme description: RLWE keys, scale-Delta
+encoding (Delta = floor(q/p)), ciphertext addition, plaintext
+multiplication, tensor-product multiplication with p/q scaling, and
+base-T relinearization. Single ciphertext modulus (no RNS); all products
+are exact big-int polynomial products via Kronecker substitution
+(:mod:`repro.fhe.poly`), which is what makes pure-Python evaluation of the
+PASTA decryption circuit tractable.
+
+This substrate exists to demonstrate the paper's HHE workflow (Fig. 1)
+end-to-end. Parameters produced by :func:`toy_parameters` are sized for
+*functional correctness and speed*, not for cryptographic security — the
+module refuses nothing, but ``BfvParams.secure`` is honest about it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import NoiseBudgetExhausted, ParameterError
+from repro.fhe.poly import Rq, negacyclic_mul_exact
+from repro.fhe.rng import PolyRng
+
+
+def _round_div(numerator: int, denominator: int) -> int:
+    """Round-to-nearest integer division (ties away from floor)."""
+    return (2 * numerator + denominator) // (2 * denominator)
+
+
+@dataclass(frozen=True)
+class BfvParams:
+    """BFV parameter set: ring degree N, ciphertext modulus q, plain modulus p."""
+
+    n: int
+    q: int
+    p: int
+    eta: int = 2  #: centered-binomial noise parameter
+    relin_base_bits: int = 62  #: T = 2^bits decomposition base
+    secure: bool = False  #: toy parameters are never claimed secure
+
+    def __post_init__(self) -> None:
+        if self.q <= self.p:
+            raise ParameterError("q must exceed the plaintext modulus")
+        if self.n & (self.n - 1):
+            raise ParameterError("N must be a power of two")
+
+    @property
+    def delta(self) -> int:
+        return self.q // self.p
+
+    @property
+    def relin_base(self) -> int:
+        return 1 << self.relin_base_bits
+
+    @property
+    def relin_parts(self) -> int:
+        return -(-self.q.bit_length() // self.relin_base_bits)
+
+    @property
+    def ciphertext_bytes(self) -> int:
+        """Serialized size of a fresh 2-component ciphertext."""
+        return 2 * self.n * ((self.q.bit_length() + 7) // 8)
+
+
+def toy_parameters(plain_modulus: int, n: int = 1024, log2_q: int = 250) -> BfvParams:
+    """Functional parameters sized for the PASTA toy circuit depth."""
+    return BfvParams(n=n, q=1 << log2_q, p=plain_modulus)
+
+
+@dataclass
+class Ciphertext:
+    """A BFV ciphertext: a list of R_q polynomials (usually two)."""
+
+    parts: List[List[int]]
+
+    @property
+    def size(self) -> int:
+        return len(self.parts)
+
+
+@dataclass
+class SecretKey:
+    s: List[int]
+
+
+@dataclass
+class PublicKey:
+    b: List[int]  #: -(a s + e)
+    a: List[int]
+
+
+@dataclass
+class RelinKey:
+    """Base-T key-switching key for s^2 -> s."""
+
+    parts: List[Tuple[List[int], List[int]]]
+
+
+class Bfv:
+    """The BFV scheme instance (deterministic given the seed)."""
+
+    def __init__(self, params: BfvParams, seed: bytes = b"bfv"):
+        self.params = params
+        self.ring = Rq(params.n, params.q)
+        self._rng = PolyRng(seed)
+
+    # -- key generation ---------------------------------------------------------
+
+    def keygen(self) -> Tuple[SecretKey, PublicKey, RelinKey]:
+        ring = self.ring
+        params = self.params
+        s = self._rng.ternary(params.n)
+        a = self._rng.uniform_mod(params.q, params.n)
+        e = self._rng.centered_binomial(params.eta, params.n)
+        b = ring.sub(ring.neg(ring.mul(a, s)), ring.reduce([c % params.q for c in e]))
+        sk = SecretKey(s=s)
+        pk = PublicKey(b=b, a=a)
+
+        # Relinearization key: rlk_i = (-(a_i s + e_i) + T^i s^2, a_i).
+        s_sq = ring.mul(ring.reduce([c % params.q for c in s]), ring.reduce([c % params.q for c in s]))
+        parts = []
+        power = 1
+        for _ in range(params.relin_parts):
+            a_i = self._rng.uniform_mod(params.q, params.n)
+            e_i = self._rng.centered_binomial(params.eta, params.n)
+            b_i = ring.add(
+                ring.sub(ring.neg(ring.mul(a_i, s)), ring.reduce([c % params.q for c in e_i])),
+                ring.scalar_mul(power, s_sq),
+            )
+            parts.append((b_i, a_i))
+            power = (power * params.relin_base) % params.q
+        return sk, pk, RelinKey(parts=parts)
+
+    # -- encryption / decryption ---------------------------------------------------
+
+    def encrypt(self, pk: PublicKey, message: int) -> Ciphertext:
+        """Encrypt a scalar in [0, p) as the constant coefficient."""
+        return self.encrypt_poly(pk, self.ring_plain(message))
+
+    def ring_plain(self, message: int) -> List[int]:
+        if not 0 <= message < self.params.p:
+            raise ParameterError(f"message {message} not in [0, {self.params.p})")
+        plain = [0] * self.params.n
+        plain[0] = message
+        return plain
+
+    def encrypt_poly(self, pk: PublicKey, plain: Sequence[int]) -> Ciphertext:
+        ring = self.ring
+        params = self.params
+        u = ring.reduce([c % params.q for c in self._rng.ternary(params.n)])
+        e1 = ring.reduce([c % params.q for c in self._rng.centered_binomial(params.eta, params.n)])
+        e2 = ring.reduce([c % params.q for c in self._rng.centered_binomial(params.eta, params.n)])
+        scaled = ring.scalar_mul(params.delta, ring.reduce([c % params.q for c in plain]))
+        c0 = ring.add(ring.add(ring.mul(pk.b, u), e1), scaled)
+        c1 = ring.add(ring.mul(pk.a, u), e2)
+        return Ciphertext(parts=[c0, c1])
+
+    def _phase(self, sk: SecretKey, ct: Ciphertext) -> List[int]:
+        ring = self.ring
+        acc = list(ct.parts[0])
+        s_power = ring.reduce([c % self.params.q for c in sk.s])
+        s_current = None
+        for i, part in enumerate(ct.parts[1:], start=1):
+            s_current = s_power if i == 1 else ring.mul(s_current, s_power)
+            acc = ring.add(acc, ring.mul(part, s_current))
+        return acc
+
+    def decrypt_poly(self, sk: SecretKey, ct: Ciphertext) -> List[int]:
+        params = self.params
+        phase = self.ring.centered(self._phase(sk, ct))
+        return [_round_div(params.p * c, params.q) % params.p for c in phase]
+
+    def decrypt(self, sk: SecretKey, ct: Ciphertext) -> int:
+        """Decrypt a scalar ciphertext (constant coefficient)."""
+        return self.decrypt_poly(sk, ct)[0]
+
+    def noise_budget_bits(self, sk: SecretKey, ct: Ciphertext) -> float:
+        """Remaining noise budget: log2(q / (2 |v|_inf)); <= 0 means corrupted."""
+        from math import log2
+
+        params = self.params
+        phase = self.ring.centered(self._phase(sk, ct))
+        plain = [_round_div(params.p * c, params.q) % params.p for c in phase]
+        noise = 1
+        for c, m in zip(phase, plain):
+            v = c - params.delta * m
+            # account for wraparound: choose the representative closest to zero
+            v = min((v % params.q, v % params.q - params.q), key=abs)
+            noise = max(noise, abs(v))
+        return log2(params.q) - 1 - log2(noise)
+
+    # -- homomorphic operations ------------------------------------------------------
+
+    def add(self, ct1: Ciphertext, ct2: Ciphertext) -> Ciphertext:
+        if ct1.size != ct2.size:
+            raise ParameterError("ciphertext sizes differ; relinearize first")
+        ring = self.ring
+        return Ciphertext(parts=[ring.add(a, b) for a, b in zip(ct1.parts, ct2.parts)])
+
+    def neg(self, ct: Ciphertext) -> Ciphertext:
+        return Ciphertext(parts=[self.ring.neg(p) for p in ct.parts])
+
+    def add_plain(self, ct: Ciphertext, message: int) -> Ciphertext:
+        parts = [list(p) for p in ct.parts]
+        scaled = self.ring.scalar_mul(self.params.delta, self.ring_plain(message % self.params.p))
+        parts[0] = self.ring.add(parts[0], scaled)
+        return Ciphertext(parts=parts)
+
+    def mul_plain(self, ct: Ciphertext, constant: int) -> Ciphertext:
+        """Multiply by a public scalar (centered lift minimizes noise growth)."""
+        c = constant % self.params.p
+        if c > self.params.p // 2:
+            c -= self.params.p  # centered representative
+        return Ciphertext(parts=[self.ring.scalar_mul(c, p) for p in ct.parts])
+
+    # -- plaintext-polynomial operations (used by slot batching) -----------------
+
+    def _centered_plain(self, plain: Sequence[int]) -> List[int]:
+        p = self.params.p
+        half = p // 2
+        return [(c % p) - p if (c % p) > half else (c % p) for c in plain]
+
+    def add_plain_poly(self, ct: Ciphertext, plain: Sequence[int]) -> Ciphertext:
+        """Add a plaintext polynomial (e.g. an encoded slot vector)."""
+        parts = [list(p) for p in ct.parts]
+        scaled = self.ring.scalar_mul(
+            self.params.delta, self.ring.reduce([c % self.params.q for c in self._reduced_plain(plain)])
+        )
+        parts[0] = self.ring.add(parts[0], scaled)
+        return Ciphertext(parts=parts)
+
+    def _reduced_plain(self, plain: Sequence[int]) -> List[int]:
+        if len(plain) != self.params.n:
+            raise ParameterError(f"plaintext must have {self.params.n} coefficients")
+        return [int(c) % self.params.p for c in plain]
+
+    def mul_plain_poly(self, ct: Ciphertext, plain: Sequence[int]) -> Ciphertext:
+        """Multiply by a plaintext polynomial (slot-wise product when the
+        polynomial encodes a slot vector). Centered coefficients keep the
+        noise growth at ||plain||_1 rather than p * N."""
+        self._reduced_plain(plain)  # length check
+        centered_plain = self._centered_plain(plain)
+        parts = []
+        for part in ct.parts:
+            product = negacyclic_mul_exact(self.ring.centered(part), centered_plain)
+            parts.append([c % self.params.q for c in product])
+        return Ciphertext(parts=parts)
+
+    def multiply_raw(self, ct1: Ciphertext, ct2: Ciphertext) -> Ciphertext:
+        """Tensor multiplication -> 3-component ciphertext (no relin)."""
+        if ct1.size != 2 or ct2.size != 2:
+            raise ParameterError("multiply expects 2-component ciphertexts")
+        params = self.params
+        ring = self.ring
+        a0, a1 = (ring.centered(p) for p in ct1.parts)
+        b0, b1 = (ring.centered(p) for p in ct2.parts)
+        d0 = negacyclic_mul_exact(a0, b0)
+        cross1 = negacyclic_mul_exact(a0, b1)
+        cross2 = negacyclic_mul_exact(a1, b0)
+        d1 = [x + y for x, y in zip(cross1, cross2)]
+        d2 = negacyclic_mul_exact(a1, b1)
+        scale = lambda poly: [_round_div(params.p * c, params.q) % params.q for c in poly]
+        return Ciphertext(parts=[scale(d0), scale(d1), scale(d2)])
+
+    def relinearize(self, ct: Ciphertext, rlk: RelinKey) -> Ciphertext:
+        """Key-switch a 3-component ciphertext back to two components."""
+        if ct.size != 3:
+            raise ParameterError("relinearize expects a 3-component ciphertext")
+        params = self.params
+        ring = self.ring
+        c0, c1, c2 = ct.parts
+        digits: List[List[int]] = []
+        remainder = list(c2)
+        base = params.relin_base
+        for _ in range(params.relin_parts):
+            digits.append([c % base for c in remainder])
+            remainder = [c // base for c in remainder]
+        new0 = list(c0)
+        new1 = list(c1)
+        for d, (b_i, a_i) in zip(digits, rlk.parts):
+            new0 = ring.add(new0, ring.mul(d, b_i))
+            new1 = ring.add(new1, ring.mul(d, a_i))
+        return Ciphertext(parts=[new0, new1])
+
+    def multiply(self, ct1: Ciphertext, ct2: Ciphertext, rlk: RelinKey) -> Ciphertext:
+        """Full homomorphic multiplication: tensor + relinearize."""
+        return self.relinearize(self.multiply_raw(ct1, ct2), rlk)
+
+    def square(self, ct: Ciphertext, rlk: RelinKey) -> Ciphertext:
+        return self.multiply(ct, ct, rlk)
+
+    def expect_correct(self, sk: SecretKey, ct: Ciphertext, expected: int) -> None:
+        """Raise :class:`NoiseBudgetExhausted` if decryption mismatches."""
+        got = self.decrypt(sk, ct)
+        if got != expected % self.params.p:
+            raise NoiseBudgetExhausted(
+                f"decrypted {got}, expected {expected % self.params.p} "
+                f"(budget {self.noise_budget_bits(sk, ct):.1f} bits)"
+            )

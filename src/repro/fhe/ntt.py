@@ -1,0 +1,115 @@
+"""Negacyclic Number Theoretic Transform over an NTT-friendly prime.
+
+Used (a) as a substrate for fast polynomial products when the modulus
+permits, (b) to validate the Kronecker-substitution multiplier in
+:mod:`repro.fhe.poly`, and (c) by the baseline op-count model: the paper's
+Sec. I-A argues the PKE client's dominant cost is ``(N log N) / 2``
+multiplications per NTT, three transforms per modulus over three moduli —
+this module is what that count refers to.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ParameterError
+from repro.ff.primality import is_prime, prime_factors
+
+
+def _find_generator(q: int) -> int:
+    """Smallest generator of Z_q^* (q prime)."""
+    factors = prime_factors(q - 1)
+    for g in range(2, q):
+        if all(pow(g, (q - 1) // f, q) != 1 for f in factors):
+            return g
+    raise ParameterError(f"no generator found for {q}")  # pragma: no cover
+
+
+class NegacyclicNtt:
+    """NTT context for Z_q[x] / (x^N + 1), N a power of two, q = 1 (mod 2N)."""
+
+    def __init__(self, n: int, q: int):
+        if n & (n - 1) or n < 2:
+            raise ParameterError(f"N must be a power of two >= 2, got {n}")
+        if not is_prime(q):
+            raise ParameterError(f"q={q} must be prime")
+        if (q - 1) % (2 * n):
+            raise ParameterError(f"q={q} does not support a 2N-th root of unity (N={n})")
+        self.n = n
+        self.q = q
+        g = _find_generator(q)
+        self.psi = pow(g, (q - 1) // (2 * n), q)  # primitive 2N-th root
+        if pow(self.psi, n, q) != q - 1:  # pragma: no cover - structural
+            raise ParameterError("psi^N != -1; root search failed")
+        self.psi_inv = pow(self.psi, q - 2, q)
+        self.n_inv = pow(n, q - 2, q)
+        # Bit-reversed power tables (standard iterative CT/GS formulation).
+        self._psis = self._bitrev_powers(self.psi)
+        self._psis_inv = self._bitrev_powers(self.psi_inv)
+
+    def _bitrev_powers(self, root: int) -> List[int]:
+        n, q = self.n, self.q
+        bits = n.bit_length() - 1
+        powers = [1] * n
+        for i in range(1, n):
+            powers[i] = powers[i - 1] * root % q
+        return [powers[int(format(i, f"0{bits}b")[::-1], 2)] for i in range(n)]
+
+    # -- transforms -------------------------------------------------------------
+
+    def forward(self, poly: Sequence[int]) -> List[int]:
+        """In-order coefficients -> bit-reversed NTT domain (CT butterflies)."""
+        a = [c % self.q for c in poly]
+        if len(a) != self.n:
+            raise ParameterError(f"expected {self.n} coefficients, got {len(a)}")
+        q = self.q
+        t = self.n
+        m = 1
+        while m < self.n:
+            t //= 2
+            for i in range(m):
+                w = self._psis[m + i]
+                start = 2 * i * t
+                for j in range(start, start + t):
+                    u = a[j]
+                    v = a[j + t] * w % q
+                    a[j] = (u + v) % q
+                    a[j + t] = (u - v) % q
+            m *= 2
+        return a
+
+    def inverse(self, values: Sequence[int]) -> List[int]:
+        """Bit-reversed NTT domain -> in-order coefficients (GS butterflies)."""
+        a = [c % self.q for c in values]
+        if len(a) != self.n:
+            raise ParameterError(f"expected {self.n} values, got {len(a)}")
+        q = self.q
+        t = 1
+        m = self.n
+        while m > 1:
+            h = m // 2
+            j1 = 0
+            for i in range(h):
+                w = self._psis_inv[h + i]
+                for j in range(j1, j1 + t):
+                    u = a[j]
+                    v = a[j + t]
+                    a[j] = (u + v) % q
+                    a[j + t] = (u - v) * w % q
+                j1 += 2 * t
+            t *= 2
+            m = h
+        return [c * self.n_inv % q for c in a]
+
+    def multiply(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        """Negacyclic product via forward/pointwise/inverse."""
+        fa = self.forward(a)
+        fb = self.forward(b)
+        return self.inverse([x * y % self.q for x, y in zip(fa, fb)])
+
+    # -- op-count model (paper Sec. I-A) ------------------------------------------
+
+    @staticmethod
+    def multiplications_per_transform(n: int) -> int:
+        """Butterfly multiplications per length-N transform: N/2 * log2 N."""
+        return (n // 2) * (n.bit_length() - 1)

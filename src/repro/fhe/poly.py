@@ -1,0 +1,121 @@
+"""Polynomial arithmetic in R = Z[x] / (x^N + 1) for the BFV scheme.
+
+Products are computed *exactly* over the integers with Kronecker
+substitution — coefficients are packed into one huge integer so CPython's
+big-int multiplication (Karatsuba) does the convolution — then folded
+negacyclically. This keeps textbook BFV practical in pure Python even at
+q ~ 2^250: BFV multiplication needs exact scaled products of lifted
+(centered) polynomials, which rules out doing everything mod q.
+
+Signed inputs are handled by splitting into positive/negative parts (four
+non-negative products), which keeps the packing trivially correct.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def _pack(coeffs: Sequence[int], width: int) -> int:
+    """Pack non-negative coefficients into an integer, ``width`` bits apart."""
+    acc = 0
+    for c in reversed(coeffs):
+        acc = (acc << width) | c
+    return acc
+
+
+def _unpack(value: int, width: int, count: int) -> List[int]:
+    mask = (1 << width) - 1
+    return [(value >> (width * i)) & mask for i in range(count)]
+
+
+def _convolve_nonneg(a: Sequence[int], b: Sequence[int], width: int) -> List[int]:
+    product = _pack(a, width) * _pack(b, width)
+    return _unpack(product, width, len(a) + len(b) - 1)
+
+
+def convolve_signed(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Exact linear convolution of signed integer sequences."""
+    if not a or not b:
+        return []
+    max_a = max(max(abs(c) for c in a), 1)
+    max_b = max(max(abs(c) for c in b), 1)
+    # Width must hold sum of min(len(a), len(b)) products plus a sign margin.
+    width = (max_a * max_b * min(len(a), len(b))).bit_length() + 1
+
+    a_pos = [c if c > 0 else 0 for c in a]
+    a_neg = [-c if c < 0 else 0 for c in a]
+    b_pos = [c if c > 0 else 0 for c in b]
+    b_neg = [-c if c < 0 else 0 for c in b]
+
+    pp = _convolve_nonneg(a_pos, b_pos, width)
+    pn = _convolve_nonneg(a_pos, b_neg, width)
+    np_ = _convolve_nonneg(a_neg, b_pos, width)
+    nn = _convolve_nonneg(a_neg, b_neg, width)
+    return [pp[i] + nn[i] - pn[i] - np_[i] for i in range(len(pp))]
+
+
+def negacyclic_mul_exact(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Exact product in Z[x]/(x^N + 1) (no modular reduction)."""
+    n = len(a)
+    if len(b) != n:
+        raise ValueError(f"operands must share the ring degree: {n} vs {len(b)}")
+    linear = convolve_signed(a, b)
+    linear += [0] * (2 * n - 1 - len(linear))
+    return [linear[i] - (linear[i + n] if i + n < 2 * n - 1 else 0) for i in range(n)]
+
+
+def centered(coeffs: Sequence[int], q: int) -> List[int]:
+    """Map residues [0, q) to the centered range [-q/2, q/2)."""
+    half = q // 2
+    return [c - q if c > half else c for c in (c % q for c in coeffs)]
+
+
+class Rq:
+    """The ring Z_q[x] / (x^N + 1) with vectorized helpers."""
+
+    def __init__(self, n: int, q: int):
+        if n & (n - 1) or n < 2:
+            raise ValueError(f"N must be a power of two >= 2, got {n}")
+        if q < 2:
+            raise ValueError(f"q must be >= 2, got {q}")
+        self.n = n
+        self.q = q
+
+    def zero(self) -> List[int]:
+        return [0] * self.n
+
+    def constant(self, value: int) -> List[int]:
+        poly = self.zero()
+        poly[0] = value % self.q
+        return poly
+
+    def reduce(self, coeffs: Sequence[int]) -> List[int]:
+        if len(coeffs) != self.n:
+            raise ValueError(f"expected {self.n} coefficients, got {len(coeffs)}")
+        return [c % self.q for c in coeffs]
+
+    def add(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        return [(x + y) % self.q for x, y in zip(a, b)]
+
+    def sub(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        return [(x - y) % self.q for x, y in zip(a, b)]
+
+    def neg(self, a: Sequence[int]) -> List[int]:
+        return [(-x) % self.q for x in a]
+
+    def scalar_mul(self, c: int, a: Sequence[int]) -> List[int]:
+        c %= self.q
+        return [(c * x) % self.q for x in a]
+
+    def mul(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        """Negacyclic product mod q (centered lift keeps the integers small)."""
+        product = negacyclic_mul_exact(centered(a, self.q), centered(b, self.q))
+        return [c % self.q for c in product]
+
+    def centered(self, a: Sequence[int]) -> List[int]:
+        return centered(a, self.q)
+
+    def infinity_norm(self, a: Sequence[int]) -> int:
+        """Max |coefficient| of the centered representative."""
+        return max(abs(c) for c in self.centered(a))

@@ -1,0 +1,57 @@
+"""Deterministic randomness for the FHE substrate, built on our own SHAKE256.
+
+Keeping the sampler inside the repository (instead of ``random``/``secrets``)
+makes every FHE test and example reproducible bit-for-bit and exercises the
+Keccak substrate once more. This is a *functional* sampler for a research
+model — not a hardened CSPRNG deployment.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.keccak.shake import shake256
+
+
+class PolyRng:
+    """Seeded sampler for the polynomial distributions BFV needs."""
+
+    def __init__(self, seed: bytes):
+        self._shake = shake256(b"repro-fhe-rng|" + seed)
+
+    def _read_int(self, nbytes: int) -> int:
+        return int.from_bytes(self._shake.read(nbytes), "little")
+
+    def uniform_mod(self, modulus: int, count: int) -> List[int]:
+        """Uniform integers in [0, modulus) by rejection sampling."""
+        nbytes = (modulus.bit_length() + 7) // 8 + 1
+        bound = (1 << (8 * nbytes)) // modulus * modulus
+        out: List[int] = []
+        while len(out) < count:
+            value = self._read_int(nbytes)
+            if value < bound:
+                out.append(value % modulus)
+        return out
+
+    def ternary(self, count: int) -> List[int]:
+        """Uniform ternary secrets in {-1, 0, 1}."""
+        out: List[int] = []
+        while len(out) < count:
+            byte = self._read_int(1)
+            for shift in (0, 2, 4, 6):
+                trit = (byte >> shift) & 0x3
+                if trit < 3:  # reject the 4th symbol for uniformity
+                    out.append(trit - 1)
+                    if len(out) == count:
+                        break
+        return out
+
+    def centered_binomial(self, eta: int, count: int) -> List[int]:
+        """Centered binomial noise with parameter ``eta`` (variance eta/2)."""
+        out: List[int] = []
+        while len(out) < count:
+            bits = self._read_int((2 * eta + 7) // 8)
+            a = sum((bits >> i) & 1 for i in range(eta))
+            b = sum((bits >> (eta + i)) & 1 for i in range(eta))
+            out.append(a - b)
+        return out

@@ -1,0 +1,58 @@
+"""Cycle-accurate behavioral model of the PASTA cryptoprocessor."""
+
+from repro.hw.accelerator import PastaAccelerator
+from repro.hw.area import (
+    ARTIX7_DSP,
+    ARTIX7_FF,
+    ARTIX7_LUT,
+    ASIC_AREA_MM2,
+    ASIC_MAX_POWER_W,
+    SOC_AREA_MM2,
+    SOC_AREA_WITH_IBEX_MM2,
+    FpgaArea,
+    area_time_product,
+    asic_area_mm2,
+    dsp_count,
+    dsp_per_multiplier,
+    fpga_area,
+    module_areas,
+    module_breakdown,
+)
+from repro.hw.report import (
+    ASIC_CLOCK_MHZ,
+    CPU_CLOCK_MHZ,
+    FPGA_CLOCK_MHZ,
+    RISCV_CLOCK_MHZ,
+    CycleReport,
+    PhaseWindow,
+)
+from repro.hw.scheduler import paper_cycle_model, simulate_block
+from repro.hw.xof_unit import XofSamplerUnit
+
+__all__ = [
+    "ARTIX7_DSP",
+    "ARTIX7_FF",
+    "ARTIX7_LUT",
+    "ASIC_AREA_MM2",
+    "ASIC_CLOCK_MHZ",
+    "ASIC_MAX_POWER_W",
+    "CPU_CLOCK_MHZ",
+    "CycleReport",
+    "FPGA_CLOCK_MHZ",
+    "FpgaArea",
+    "PastaAccelerator",
+    "PhaseWindow",
+    "RISCV_CLOCK_MHZ",
+    "SOC_AREA_MM2",
+    "SOC_AREA_WITH_IBEX_MM2",
+    "XofSamplerUnit",
+    "area_time_product",
+    "asic_area_mm2",
+    "dsp_count",
+    "dsp_per_multiplier",
+    "fpga_area",
+    "module_areas",
+    "module_breakdown",
+    "paper_cycle_model",
+    "simulate_block",
+]

@@ -1,0 +1,92 @@
+"""Top-level PASTA accelerator model (paper Fig. 6).
+
+:class:`PastaAccelerator` is the behavioral equivalent of the paper's RTL
+top module: it takes the nonce, counter, and message block and produces the
+ciphertext (``c = m + KS``) together with a :class:`~repro.hw.report.CycleReport`.
+The key is loaded once (register file inside the wrapper), mirroring the
+hardware's one-time key configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Type
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.hw.report import CycleReport
+from repro.hw.scheduler import simulate_block
+from repro.keccak.hw_model import KeccakCoreModel, OverlappedKeccakCore
+from repro.pasta.params import PastaParams
+
+
+class PastaAccelerator:
+    """Behavioral model of the standalone PASTA cryptoprocessor."""
+
+    def __init__(
+        self,
+        params: PastaParams,
+        key: Sequence[int],
+        core_cls: Type[KeccakCoreModel] = OverlappedKeccakCore,
+    ):
+        if len(key) != params.key_size:
+            raise ParameterError(f"key must have {params.key_size} elements, got {len(key)}")
+        self.params = params
+        self.field = params.field
+        self.key = self.field.array(key)
+        self.core_cls = core_cls
+
+    def keystream_block(self, nonce: int, counter: int) -> Tuple[np.ndarray, CycleReport]:
+        """Generate one keystream block with its cycle report."""
+        return simulate_block(self.params, self.key, nonce, counter, self.core_cls)
+
+    def encrypt_block(
+        self, message: Sequence[int], nonce: int, counter: int
+    ) -> Tuple[np.ndarray, CycleReport]:
+        """Encrypt up to t elements; the final modular add is part of the tail."""
+        m = self.field.array(message)
+        if m.shape[0] > self.params.t:
+            raise ParameterError(f"block holds at most t={self.params.t} elements")
+        ks, report = self.keystream_block(nonce, counter)
+        return self.field.vec_add(m, ks[: m.shape[0]]), report
+
+    def decrypt_block(
+        self, ciphertext: Sequence[int], nonce: int, counter: int
+    ) -> Tuple[np.ndarray, CycleReport]:
+        """Decrypt up to t elements (same keystream, modular subtract)."""
+        c = self.field.array(ciphertext)
+        if c.shape[0] > self.params.t:
+            raise ParameterError(f"block holds at most t={self.params.t} elements")
+        ks, report = self.keystream_block(nonce, counter)
+        return self.field.vec_sub(c, ks[: c.shape[0]]), report
+
+    def encrypt_stream(
+        self, message: Sequence[int], nonce: int
+    ) -> Tuple[np.ndarray, list]:
+        """Encrypt a long message block-by-block; returns (ct, [reports]).
+
+        Blocks are processed strictly serially, as in the hardware (one
+        block must finish before the next starts — also the SoC bus
+        constraint of Sec. IV-A).
+        """
+        arr = self.field.array(message)
+        t = self.params.t
+        out = self.field.zeros(arr.shape[0])
+        reports = []
+        for counter, start in enumerate(range(0, arr.shape[0], t)):
+            chunk = arr[start : start + t]
+            ct, rep = self.encrypt_block(chunk, nonce, counter)
+            out[start : start + chunk.shape[0]] = ct
+            reports.append(rep)
+        return out, reports
+
+    def average_cycles(self, nonces: Sequence[int], counter: int = 0) -> float:
+        """Average block cycles across nonces (the paper reports averages
+        because rejection counts vary with nonce/counter)."""
+        if not nonces:
+            raise ParameterError("need at least one nonce")
+        total = 0
+        for nonce in nonces:
+            _, rep = self.keystream_block(nonce, counter)
+            total += rep.total_cycles
+        return total / len(nonces)

@@ -1,0 +1,127 @@
+"""Cycle reports produced by the accelerator model.
+
+A :class:`CycleReport` records everything the paper's Sec. IV-B discusses
+for one block encryption: total cycles, XOF/permutation counts, rejection
+statistics, the per-layer schedule windows (Fig. 3), and derived wall-clock
+times at each platform's clock frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+#: Clock targets used in the paper (MHz).
+FPGA_CLOCK_MHZ = 75.0
+ASIC_CLOCK_MHZ = 1000.0
+RISCV_CLOCK_MHZ = 100.0
+CPU_CLOCK_MHZ = 2200.0  # Intel Xeon E5-2699 v4 of [9]
+
+
+@dataclass(frozen=True)
+class PhaseWindow:
+    """One scheduled operation: which unit, which layer, [start, end) cycles."""
+
+    unit: str
+    layer: int
+    start: int
+    end: int
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class CycleReport:
+    """Timing summary of one block encryption on the accelerator."""
+
+    params_name: str
+    t: int
+    nonce: int
+    counter: int
+    core_name: str
+    total_cycles: int
+    xof_last_word_cycle: int
+    tail_cycles: int
+    permutations: int
+    words_consumed: int
+    words_rejected: int
+    windows: List[PhaseWindow] = field(default_factory=list)
+
+    # -- derived -------------------------------------------------------------
+
+    def time_us(self, clock_mhz: float) -> float:
+        """Wall-clock microseconds at the given clock frequency."""
+        return self.total_cycles / clock_mhz
+
+    @property
+    def fpga_us(self) -> float:
+        return self.time_us(FPGA_CLOCK_MHZ)
+
+    @property
+    def asic_us(self) -> float:
+        return self.time_us(ASIC_CLOCK_MHZ)
+
+    @property
+    def rejection_rate(self) -> float:
+        total = self.words_consumed
+        return self.words_rejected / total if total else 0.0
+
+    def unit_busy_cycles(self) -> Dict[str, int]:
+        """Total busy cycles per unit (overlaps within a unit don't occur)."""
+        busy: Dict[str, int] = {}
+        for w in self.windows:
+            busy[w.unit] = busy.get(w.unit, 0) + w.duration
+        return busy
+
+    def unit_utilization(self) -> Dict[str, float]:
+        """Busy fraction of the total runtime, per unit."""
+        if self.total_cycles == 0:
+            return {}
+        return {u: b / self.total_cycles for u, b in self.unit_busy_cycles().items()}
+
+    def windows_for(self, unit: str) -> List[PhaseWindow]:
+        return [w for w in self.windows if w.unit == unit]
+
+    def render_gantt(self, width: int = 72) -> str:
+        """ASCII Gantt chart of the schedule windows (a Fig.-3 visual aid).
+
+        One row per unit; ``#`` marks busy cycles scaled to ``width``
+        columns. Useful when inspecting why a layer stalls.
+        """
+        if not self.windows or self.total_cycles == 0:
+            return "(empty schedule)"
+        units = []
+        for w in self.windows:
+            if w.unit not in units:
+                units.append(w.unit)
+        scale = width / self.total_cycles
+        label_width = max(len(u) for u in units) + 1
+        lines = [
+            f"{'cycles':<{label_width}}0{' ' * (width - len(str(self.total_cycles)) - 1)}"
+            f"{self.total_cycles}"
+        ]
+        for unit in units:
+            row = [" "] * width
+            for w in self.windows:
+                if w.unit != unit:
+                    continue
+                start = min(width - 1, int(w.start * scale))
+                end = min(width, max(start + 1, int(w.end * scale)))
+                for i in range(start, end):
+                    row[i] = "#"
+            lines.append(f"{unit:<{label_width}}{''.join(row)}")
+        return "\n".join(lines)
+
+    def schedule_ok(self) -> Tuple[bool, str]:
+        """Check no unit runs two windows at once (schedule consistency)."""
+        by_unit: Dict[str, List[PhaseWindow]] = {}
+        for w in self.windows:
+            by_unit.setdefault(w.unit, []).append(w)
+        for unit, ws in by_unit.items():
+            ws = sorted(ws, key=lambda w: w.start)
+            for a, b in zip(ws, ws[1:]):
+                if b.start < a.end:
+                    return False, f"unit {unit}: window {b} overlaps {a}"
+        return True, ""

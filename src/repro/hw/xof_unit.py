@@ -1,0 +1,67 @@
+"""XOF + rejection-sampling + DataGen front-end of the accelerator.
+
+Models the units of paper Fig. 4 at transaction level:
+
+* the SHAKE128 core emits one 64-bit word per cycle (timing from
+  :mod:`repro.keccak.hw_model`, functional bytes from the real XOF);
+* the rejection sampler masks each word and accepts/rejects it in the same
+  cycle;
+* the DataGen unit assembles accepted elements into t-element vectors in
+  its ping-pong buffers, so a vector is "ready" the cycle its last element
+  is accepted.
+
+Because the words come from the same :func:`repro.pasta.xof.block_xof`
+stream and the same :class:`repro.ff.sampling.RejectionSampler` as the
+software cipher, the accepted values — and therefore the keystream — are
+bit-identical to the reference implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Type
+
+import numpy as np
+
+from repro.keccak.hw_model import KeccakCoreModel, OverlappedKeccakCore
+from repro.pasta.params import PastaParams
+from repro.pasta.xof import block_xof
+
+
+class XofSamplerUnit:
+    """Front-end producing timed, rejection-sampled field-element vectors."""
+
+    def __init__(
+        self,
+        params: PastaParams,
+        nonce: int,
+        counter: int,
+        core_cls: Type[KeccakCoreModel] = OverlappedKeccakCore,
+    ):
+        self.params = params
+        self.shake = block_xof(params, nonce, counter)
+        self.core = core_cls(self.shake)
+        self._timed = self.core.timed_words()
+        self.sampler = params.sampler
+        self.words_consumed = 0
+        self.words_rejected = 0
+        self.last_word_cycle = 0
+
+    def next_vector(self, min_value: int = 0) -> Tuple[np.ndarray, int]:
+        """Sample the next t-element vector; returns (values, ready_cycle)."""
+        t = self.params.t
+        values = []
+        while len(values) < t:
+            tw = next(self._timed)
+            self.words_consumed += 1
+            self.last_word_cycle = tw.cycle
+            candidate, ok = self.sampler.candidate(tw.word, min_value)
+            if ok:
+                values.append(candidate)
+            else:
+                self.words_rejected += 1
+        return self.params.field.array(values), self.last_word_cycle
+
+    @property
+    def permutations(self) -> int:
+        """Squeeze permutations behind the words consumed so far."""
+        return -(-self.words_consumed // self.shake.words_per_permutation)

@@ -1,0 +1,119 @@
+"""Cycle models of the hardware SHAKE128 core (paper Secs. III-A, IV-B).
+
+The functional output always comes from the real :class:`~repro.keccak.shake.Shake`
+instance, so downstream consumers receive bit-exact XOF data; the models
+only attach *timing* to each squeezed 64-bit word.
+
+Two implementations are modeled:
+
+* **Naive core** — squeeze and permutation are serial: each batch of 21
+  words costs 24 cc (permutation) + 21 cc (squeeze) = 45 cc. The paper
+  notes this "almost doubles" the cycle count.
+* **Overlapped core** (the design actually used, from KaLi [14]) — the next
+  permutation runs in parallel with the squeeze at the price of a second
+  1600-bit state buffer; only a 5 cc gap separates two squeezes, so a
+  batch costs 21 + 5 = 26 cc. Sixty batches therefore cost
+  60 * (21 + 5) = 1,560 cc, matching the paper's PASTA-4 arithmetic.
+
+Both models charge the batch overhead uniformly from cycle 0 (the paper's
+accounting folds the initial absorb permutation into the setup phase; see
+Sec. IV-B where PASTA-4 is exactly 60 batches * 26 cc + final Mix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.keccak.shake import Shake
+
+#: Keccak-f[1600] rounds == clock cycles per permutation in the hardware.
+PERMUTATION_CYCLES = 24
+
+#: Squeeze gap of the overlapped (double-buffered) core between two batches.
+OVERLAPPED_GAP_CYCLES = 5
+
+#: 64-bit words squeezed per permutation at SHAKE128's 1344-bit rate.
+WORDS_PER_BATCH = 21
+
+
+@dataclass(frozen=True)
+class TimedWord:
+    """One squeezed 64-bit word and the clock cycle it becomes available."""
+
+    cycle: int
+    word: int
+
+
+class KeccakCoreModel:
+    """Base class: turns a Shake instance into a timed word stream."""
+
+    #: cycles of dead time before each 21-word batch starts emitting
+    batch_overhead: int = 0
+    name: str = "abstract"
+
+    def __init__(self, shake: Shake):
+        self.shake = shake
+        self.words_emitted = 0
+
+    def batch_cycles(self) -> int:
+        """Total cycles consumed per 21-word batch."""
+        return self.batch_overhead + WORDS_PER_BATCH
+
+    def cycle_of_word(self, index: int) -> int:
+        """Cycle at which the ``index``-th word (0-based) is available."""
+        batch, offset = divmod(index, WORDS_PER_BATCH)
+        return batch * self.batch_cycles() + self.batch_overhead + offset + 1
+
+    def cycles_for_words(self, count: int) -> int:
+        """Cycle at which ``count`` words have all been emitted."""
+        if count <= 0:
+            return 0
+        return self.cycle_of_word(count - 1)
+
+    def timed_words(self) -> Iterator[TimedWord]:
+        """Infinite stream of (cycle, word) pairs."""
+        raw = self.shake.words()
+        while True:
+            index = self.words_emitted
+            word = next(raw)
+            self.words_emitted = index + 1
+            yield TimedWord(cycle=self.cycle_of_word(index), word=word)
+
+    @property
+    def permutations_performed(self) -> int:
+        """Squeeze permutations behind the words emitted so far."""
+        return -(-self.words_emitted // WORDS_PER_BATCH)  # ceil div
+
+
+class NaiveKeccakCore(KeccakCoreModel):
+    """Serial permutation-then-squeeze core: 24 + 21 = 45 cc per batch."""
+
+    batch_overhead = PERMUTATION_CYCLES
+    name = "naive"
+
+
+class OverlappedKeccakCore(KeccakCoreModel):
+    """Double-buffered core squeezing in parallel with the permutation.
+
+    21 + 5 = 26 cc per batch; requires two 1600-bit state registers
+    (charged by the area model in :mod:`repro.hw.area`).
+    """
+
+    batch_overhead = OVERLAPPED_GAP_CYCLES
+    name = "overlapped"
+
+
+class UnrolledNaiveKeccakCore(KeccakCoreModel):
+    """2x round-unrolled serial core: 12 cc permutation + 21 cc squeeze.
+
+    The paper deliberately avoids round-unrolling so the design fits small
+    client FPGAs (Sec. III). This model quantifies the decision: unrolling
+    costs roughly double the Keccak round logic yet a batch still takes
+    12 + 21 = 33 cc — *worse* than the overlapped core's 26 cc, because the
+    squeeze, not the permutation, is the critical path once permutations
+    overlap squeezes. See the ablation benchmark.
+    """
+
+    batch_overhead = PERMUTATION_CYCLES // 2
+    name = "unrolled-naive"

@@ -1,0 +1,86 @@
+"""Keccak-f[1600] permutation, implemented from the FIPS 202 specification.
+
+The state is a flat list of 25 lanes (64-bit integers) indexed ``x + 5*y``.
+Round constants and rotation offsets are *derived* (LFSR / triangular-number
+walk) rather than transcribed, so the only trusted inputs are the spec's
+generation rules; known-answer tests validate the result against
+``hashlib``'s SHA-3 implementation.
+
+The hardware accelerator in the paper runs one Keccak round per clock
+cycle (24 cc per permutation); :mod:`repro.keccak.hw_model` attaches that
+timing to this functional core.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.utils.bits import rotl64
+
+KECCAK_ROUNDS = 24
+_MASK64 = (1 << 64) - 1
+
+
+def _round_constants() -> List[int]:
+    """Generate the 24 iota round constants via the rc(t) LFSR (FIPS 202 3.2.5)."""
+
+    def rc_bit(t: int) -> int:
+        r = 0x01
+        for _ in range(t % 255):
+            r = ((r << 1) ^ ((r >> 7) * 0x71)) & 0xFF
+        return r & 1
+
+    constants = []
+    for round_index in range(KECCAK_ROUNDS):
+        value = 0
+        for j in range(7):
+            if rc_bit(j + 7 * round_index):
+                value |= 1 << ((1 << j) - 1)
+        constants.append(value)
+    return constants
+
+
+def _rotation_offsets() -> List[int]:
+    """Generate the rho rotation offsets via the (x, y) -> (y, 2x+3y) walk."""
+    offsets = [0] * 25
+    x, y = 1, 0
+    for t in range(24):
+        offsets[x + 5 * y] = ((t + 1) * (t + 2) // 2) % 64
+        x, y = y, (2 * x + 3 * y) % 5
+    return offsets
+
+
+ROUND_CONSTANTS = _round_constants()
+RHO_OFFSETS = _rotation_offsets()
+
+
+def keccak_round(state: List[int], round_constant: int) -> List[int]:
+    """One Keccak round: theta, rho, pi, chi, iota. Returns a new state list."""
+    # theta
+    c = [state[x] ^ state[x + 5] ^ state[x + 10] ^ state[x + 15] ^ state[x + 20] for x in range(5)]
+    d = [c[(x - 1) % 5] ^ rotl64(c[(x + 1) % 5], 1) for x in range(5)]
+    a = [state[i] ^ d[i % 5] for i in range(25)]
+    # rho + pi
+    b = [0] * 25
+    for x in range(5):
+        for y in range(5):
+            b[y + 5 * ((2 * x + 3 * y) % 5)] = rotl64(a[x + 5 * y], RHO_OFFSETS[x + 5 * y])
+    # chi
+    out = [0] * 25
+    for y in range(5):
+        row = 5 * y
+        for x in range(5):
+            out[row + x] = b[row + x] ^ ((~b[row + (x + 1) % 5] & _MASK64) & b[row + (x + 2) % 5])
+    # iota
+    out[0] ^= round_constant
+    return out
+
+
+def keccak_f1600(state: Sequence[int]) -> List[int]:
+    """Apply the full 24-round Keccak-f[1600] permutation."""
+    if len(state) != 25:
+        raise ValueError(f"Keccak state must have 25 lanes, got {len(state)}")
+    current = list(state)
+    for constant in ROUND_CONSTANTS:
+        current = keccak_round(current, constant)
+    return current

@@ -1,0 +1,71 @@
+"""SHAKE128 / SHAKE256 extendable-output functions.
+
+These are thin wrappers over :class:`repro.keccak.sponge.KeccakSponge` with
+the XOF domain suffix 0x1F. :meth:`Shake.words` exposes the output as a
+stream of 64-bit little-endian words — exactly the granularity at which the
+paper's hardware squeezes the state (21 words per permutation at rate
+1344 bits).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.keccak.sponge import KeccakSponge
+
+SHAKE128_RATE_BYTES = 168  # 1344-bit rate -> 21 64-bit words per squeeze
+SHAKE256_RATE_BYTES = 136
+
+
+class Shake:
+    """Incremental SHAKE XOF."""
+
+    def __init__(self, rate_bytes: int, data: bytes = b""):
+        self.sponge = KeccakSponge(rate_bytes, domain_suffix=0x1F)
+        if data:
+            self.sponge.absorb(data)
+
+    def absorb(self, data: bytes) -> None:
+        self.sponge.absorb(data)
+
+    def read(self, count: int) -> bytes:
+        """Squeeze ``count`` bytes (finalizes on first call)."""
+        return self.sponge.squeeze(count)
+
+    def words(self) -> Iterator[int]:
+        """Infinite stream of 64-bit little-endian output words."""
+        while True:
+            yield int.from_bytes(self.sponge.squeeze(8), "little")
+
+    @property
+    def permutation_count(self) -> int:
+        """Keccak-f permutations performed so far (absorb + squeeze)."""
+        return self.sponge.permutation_count
+
+    @property
+    def words_per_permutation(self) -> int:
+        return self.sponge.rate_bytes // 8
+
+
+def shake128(data: bytes = b"") -> Shake:
+    """SHAKE128 instance (rate 1344 bits, as used by PASTA)."""
+    return Shake(SHAKE128_RATE_BYTES, data)
+
+
+def shake256(data: bytes = b"") -> Shake:
+    """SHAKE256 instance (rate 1088 bits)."""
+    return Shake(SHAKE256_RATE_BYTES, data)
+
+
+def sha3_256(data: bytes) -> bytes:
+    """SHA3-256 digest (used only for cross-validating the permutation)."""
+    sponge = KeccakSponge(136, domain_suffix=0x06)
+    sponge.absorb(data)
+    return sponge.squeeze(32)
+
+
+def sha3_512(data: bytes) -> bytes:
+    """SHA3-512 digest (used only for cross-validating the permutation)."""
+    sponge = KeccakSponge(72, domain_suffix=0x06)
+    sponge.absorb(data)
+    return sponge.squeeze(64)

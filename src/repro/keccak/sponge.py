@@ -1,0 +1,84 @@
+"""Keccak sponge construction (absorb / pad / squeeze).
+
+Implements the pad10*1 rule with a caller-supplied domain-separation suffix
+so the same engine yields SHAKE128/256 (suffix 0x1F) and SHA-3 (0x06).
+"""
+
+from __future__ import annotations
+
+from repro.keccak.permutation import keccak_f1600
+from repro.utils.bits import bytes_to_words_le, words_to_bytes_le
+
+
+class KeccakSponge:
+    """Incremental sponge over Keccak-f[1600].
+
+    Parameters
+    ----------
+    rate_bytes:
+        The rate in bytes (168 for SHAKE128, 136 for SHAKE256/SHA3-256).
+    domain_suffix:
+        Domain-separation byte prepended to the 10*1 padding (0x1F for
+        SHAKE, 0x06 for SHA-3).
+    """
+
+    def __init__(self, rate_bytes: int, domain_suffix: int):
+        if not 0 < rate_bytes < 200 or rate_bytes % 8 != 0:
+            raise ValueError(f"rate must be a positive multiple of 8 below 200, got {rate_bytes}")
+        self.rate_bytes = rate_bytes
+        self.domain_suffix = domain_suffix
+        self._state = [0] * 25
+        self._buffer = bytearray()
+        self._squeezing = False
+        self._squeeze_pos = 0
+        self._squeeze_block = b""
+        #: Number of Keccak-f permutations performed (for the cycle models).
+        self.permutation_count = 0
+
+    def _permute(self) -> None:
+        self._state = keccak_f1600(self._state)
+        self.permutation_count += 1
+
+    def _absorb_block(self, block: bytes) -> None:
+        words = bytes_to_words_le(block + b"\x00" * (200 - len(block)))
+        self._state = [s ^ w for s, w in zip(self._state, words)]
+        self._permute()
+
+    def absorb(self, data: bytes) -> None:
+        """Feed message bytes into the sponge (before any squeeze)."""
+        if self._squeezing:
+            raise RuntimeError("cannot absorb after squeezing has started")
+        self._buffer += data
+        while len(self._buffer) >= self.rate_bytes:
+            self._absorb_block(bytes(self._buffer[: self.rate_bytes]))
+            del self._buffer[: self.rate_bytes]
+
+    def _finalize(self) -> None:
+        block = bytearray(self._buffer)
+        block.append(self.domain_suffix)
+        block += b"\x00" * (self.rate_bytes - len(block))
+        block[-1] |= 0x80
+        self._absorb_block(bytes(block))
+        self._buffer.clear()
+        self._squeezing = True
+        self._squeeze_block = self._current_rate_bytes()
+        self._squeeze_pos = 0
+
+    def _current_rate_bytes(self) -> bytes:
+        return words_to_bytes_le(self._state)[: self.rate_bytes]
+
+    def squeeze(self, count: int) -> bytes:
+        """Extract ``count`` output bytes (may be called repeatedly)."""
+        if not self._squeezing:
+            self._finalize()
+        out = bytearray()
+        while count > 0:
+            if self._squeeze_pos == self.rate_bytes:
+                self._permute()
+                self._squeeze_block = self._current_rate_bytes()
+                self._squeeze_pos = 0
+            take = min(count, self.rate_bytes - self._squeeze_pos)
+            out += self._squeeze_block[self._squeeze_pos : self._squeeze_pos + take]
+            self._squeeze_pos += take
+            count -= take
+        return bytes(out)

@@ -1,0 +1,206 @@
+"""The PASTA stream cipher: reference (software) implementation.
+
+This is the functional golden model. The hardware model
+(:mod:`repro.hw.accelerator`) and the RISC-V peripheral reproduce its
+keystream bit-exactly; the HHE server evaluates its decryption circuit
+homomorphically.
+
+Per-block pseudo-random material is squeezed from SHAKE128 in the fixed
+order of the paper's Fig. 3 schedule — for each affine layer:
+``alpha_L`` (matrix first row, zero excluded), ``alpha_R``, ``rc_L``,
+``rc_R`` — so the hardware's rejection-sampling decisions land on the
+same words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.ff.sampling import SamplerStats
+from repro.pasta import layers as L
+from repro.pasta.matgen import generate_matrix
+from repro.pasta.params import PastaParams
+from repro.pasta.xof import block_xof
+
+
+@dataclass(frozen=True)
+class LayerMaterials:
+    """Public per-layer material: two matrix seeds and two round constants."""
+
+    alpha_l: np.ndarray
+    alpha_r: np.ndarray
+    rc_l: np.ndarray
+    rc_r: np.ndarray
+
+
+@dataclass(frozen=True)
+class BlockMaterials:
+    """All public pseudo-random material of one block's permutation."""
+
+    params: PastaParams
+    nonce: int
+    counter: int
+    layers: Tuple[LayerMaterials, ...]
+    stats: SamplerStats  #: accept/reject counters over the whole block
+    permutations: int  #: Keccak-f squeeze permutations consumed
+
+    def matrix_l(self, layer: int) -> np.ndarray:
+        """Materialized left-half matrix of ``layer`` (reference path)."""
+        return generate_matrix(self.params.field, self.layers[layer].alpha_l)
+
+    def matrix_r(self, layer: int) -> np.ndarray:
+        """Materialized right-half matrix of ``layer``."""
+        return generate_matrix(self.params.field, self.layers[layer].alpha_r)
+
+
+def generate_block_materials(
+    params: PastaParams,
+    nonce: int,
+    counter: int,
+    words: Optional[Iterator[int]] = None,
+) -> BlockMaterials:
+    """Sample every matrix seed and round constant for one block.
+
+    ``words`` may override the XOF word stream (the hardware model passes
+    its own timed stream built over the identical XOF, so the sampled
+    values — and the rejections — are the same).
+    """
+    shake = None
+    if words is None:
+        shake = block_xof(params, nonce, counter)
+        words = shake.words()
+    sampler = params.sampler
+    accepted = 0
+    rejected = 0
+    layer_list: List[LayerMaterials] = []
+    for _ in range(params.affine_layers):
+        alpha_l, s1 = sampler.sample(words, params.t, min_value=1)
+        alpha_r, s2 = sampler.sample(words, params.t, min_value=1)
+        rc_l, s3 = sampler.sample(words, params.t)
+        rc_r, s4 = sampler.sample(words, params.t)
+        for s in (s1, s2, s3, s4):
+            accepted += s.accepted
+            rejected += s.rejected
+        field = params.field
+        layer_list.append(
+            LayerMaterials(
+                alpha_l=field.array(alpha_l),
+                alpha_r=field.array(alpha_r),
+                rc_l=field.array(rc_l),
+                rc_r=field.array(rc_r),
+            )
+        )
+    permutations = shake.permutation_count if shake is not None else -(-(accepted + rejected) // 21)
+    return BlockMaterials(
+        params=params,
+        nonce=nonce,
+        counter=counter,
+        layers=tuple(layer_list),
+        stats=SamplerStats(accepted=accepted, rejected=rejected),
+        permutations=permutations,
+    )
+
+
+class Pasta:
+    """PASTA-t encryption/decryption with a fixed secret key.
+
+    Parameters
+    ----------
+    params:
+        A :class:`~repro.pasta.params.PastaParams` instance.
+    key:
+        The 2t-element secret key (the permutation's input state).
+    """
+
+    def __init__(self, params: PastaParams, key: Sequence[int]):
+        if len(key) != params.key_size:
+            raise ParameterError(f"key must have {params.key_size} elements, got {len(key)}")
+        self.params = params
+        self.field = params.field
+        self.key = self.field.array(key)
+
+    # -- keystream -----------------------------------------------------------
+
+    def keystream_block(
+        self, nonce: int, counter: int, materials: Optional[BlockMaterials] = None
+    ) -> np.ndarray:
+        """The t-element keystream KS = Trunc(pi(K)) for one block."""
+        if materials is None:
+            materials = generate_block_materials(self.params, nonce, counter)
+        return self.permute(self.key, materials)
+
+    def permute(self, state: np.ndarray, materials: BlockMaterials) -> np.ndarray:
+        """Apply the PASTA permutation to ``state`` and truncate."""
+        params = self.params
+        field = self.field
+        t = params.t
+        xl = field.coerce(state[:t])
+        xr = field.coerce(state[t:])
+        for i in range(params.rounds):
+            layer = materials.layers[i]
+            xl = L.affine(field, materials.matrix_l(i), xl, layer.rc_l)
+            xr = L.affine(field, materials.matrix_r(i), xr, layer.rc_r)
+            xl, xr = L.mix(field, xl, xr)
+            full = np.concatenate([xl, xr])
+            if i < params.rounds - 1:
+                full = L.feistel_sbox(field, full)
+            else:
+                full = L.cube_sbox(field, full)
+            xl, xr = full[:t], full[t:]
+        final = materials.layers[params.rounds]
+        xl = L.affine(field, materials.matrix_l(params.rounds), xl, final.rc_l)
+        xr = L.affine(field, materials.matrix_r(params.rounds), xr, final.rc_r)
+        xl, xr = L.mix(field, xl, xr)
+        return L.truncate(xl)
+
+    # -- block operations -----------------------------------------------------
+
+    def encrypt_block(self, message: Sequence[int], nonce: int, counter: int) -> np.ndarray:
+        """Encrypt up to t field elements: ``c = m + KS``."""
+        m = self.field.array(message)
+        if m.shape[0] > self.params.t:
+            raise ParameterError(f"block holds at most t={self.params.t} elements")
+        ks = self.keystream_block(nonce, counter)
+        return self.field.vec_add(m, ks[: m.shape[0]])
+
+    def decrypt_block(self, ciphertext: Sequence[int], nonce: int, counter: int) -> np.ndarray:
+        """Decrypt up to t field elements: ``m = c - KS``."""
+        c = self.field.array(ciphertext)
+        if c.shape[0] > self.params.t:
+            raise ParameterError(f"block holds at most t={self.params.t} elements")
+        ks = self.keystream_block(nonce, counter)
+        return self.field.vec_sub(c, ks[: c.shape[0]])
+
+    # -- streaming ------------------------------------------------------------
+
+    def encrypt(self, message: Sequence[int], nonce: int) -> np.ndarray:
+        """Encrypt an arbitrary-length element sequence (counter = block index)."""
+        return self._stream(message, nonce, encrypt=True)
+
+    def decrypt(self, ciphertext: Sequence[int], nonce: int) -> np.ndarray:
+        """Inverse of :meth:`encrypt` under the same nonce."""
+        return self._stream(ciphertext, nonce, encrypt=False)
+
+    def _stream(self, data: Sequence[int], nonce: int, encrypt: bool) -> np.ndarray:
+        arr = self.field.array(data)
+        t = self.params.t
+        out = self.field.zeros(arr.shape[0])
+        op = self.field.vec_add if encrypt else self.field.vec_sub
+        for counter, start in enumerate(range(0, arr.shape[0], t)):
+            chunk = arr[start : start + t]
+            ks = self.keystream_block(nonce, counter)
+            out[start : start + chunk.shape[0]] = op(chunk, ks[: chunk.shape[0]])
+        return out
+
+
+def random_key(params: PastaParams, seed: bytes = b"pasta-key") -> np.ndarray:
+    """Deterministic pseudo-random key (for tests/examples), via SHAKE256."""
+    from repro.keccak.shake import shake256
+
+    words = shake256(b"key-derivation|" + seed).words()
+    key, _ = params.sampler.sample(words, params.key_size)
+    return params.field.array(key)

@@ -1,0 +1,67 @@
+"""Ciphertext serialization: bit-packing field elements at omega bits.
+
+The link-budget numbers of paper Sec. V assume ciphertext elements are
+transmitted at the modulus width (17 bits/element -> 68 B per PASTA-4
+block; the paper's 33-bit setting gives the quoted 132 B). This module
+makes that concrete: elements are packed little-endian-first into a byte
+string at exactly ``bits`` bits each, so the sizes used by the Fig. 8
+model are produced by running code, not arithmetic alone.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ParameterError
+
+
+def pack_elements(elements: Sequence[int], bits: int) -> bytes:
+    """Pack integers into ``bits``-bit fields (LSB-first bit order)."""
+    if bits < 1 or bits > 64:
+        raise ParameterError(f"bits must be in [1, 64], got {bits}")
+    acc = 0
+    acc_bits = 0
+    out = bytearray()
+    for value in elements:
+        if not 0 <= value < (1 << bits):
+            raise ParameterError(f"element {value} does not fit in {bits} bits")
+        acc |= value << acc_bits
+        acc_bits += bits
+        while acc_bits >= 8:
+            out.append(acc & 0xFF)
+            acc >>= 8
+            acc_bits -= 8
+    if acc_bits:
+        out.append(acc & 0xFF)
+    return bytes(out)
+
+
+def unpack_elements(data: bytes, bits: int, count: int) -> List[int]:
+    """Inverse of :func:`pack_elements` for a known element count."""
+    if bits < 1 or bits > 64:
+        raise ParameterError(f"bits must be in [1, 64], got {bits}")
+    needed = (count * bits + 7) // 8
+    if len(data) < needed:
+        raise ParameterError(f"need {needed} bytes for {count} x {bits}-bit elements, got {len(data)}")
+    acc = int.from_bytes(data[:needed], "little")
+    mask = (1 << bits) - 1
+    return [(acc >> (i * bits)) & mask for i in range(count)]
+
+
+def serialized_block_bytes(t: int, bits: int) -> int:
+    """Wire size of one t-element block at ``bits`` bits per element."""
+    return (t * bits + 7) // 8
+
+
+def serialize_ciphertext(elements: Sequence[int], p: int) -> bytes:
+    """Serialize ciphertext elements at the modulus width."""
+    return pack_elements([int(e) for e in elements], p.bit_length())
+
+
+def deserialize_ciphertext(data: bytes, p: int, count: int) -> List[int]:
+    """Inverse of :func:`serialize_ciphertext`; validates range."""
+    elements = unpack_elements(data, p.bit_length(), count)
+    for e in elements:
+        if e >= p:
+            raise ParameterError(f"decoded element {e} not reduced mod {p}")
+    return elements

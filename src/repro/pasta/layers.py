@@ -1,0 +1,84 @@
+"""The PASTA round layers (paper Sec. II-B).
+
+One permutation over the 2t-element state ``(X_L, X_R)`` is::
+
+    for i in 0 .. rounds-1:
+        X_L, X_R = affine_i(X_L), affine_i'(X_R)   # fresh matrices + RCs
+        X_L, X_R = mix(X_L, X_R)
+        state    = feistel_sbox(state)   if i < rounds-1
+                   cube_sbox(state)      if i == rounds-1
+    X_L, X_R = affine_rounds(X_L), affine_rounds'(X_R)   # final affine
+    X_L, X_R = mix(X_L, X_R)
+    return truncate(state) = X_L
+
+so there are ``rounds + 1`` affine layers, each followed by Mix — matching
+the paper's coefficient budget (2048 for PASTA-3, 640 for PASTA-4) and its
+"last remaining Mix operation" cycle accounting.
+
+Every layer here is *invertible* except the final truncation, which is what
+prevents inverting the permutation back to the key.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.ff.prime import PrimeField
+
+
+def affine(field: PrimeField, matrix: np.ndarray, state: np.ndarray, rc: np.ndarray) -> np.ndarray:
+    """A_i: ``M . x + rc`` on one t-element half-state."""
+    return field.vec_add(field.mat_vec(matrix, state), rc)
+
+
+def mix(field: PrimeField, xl: np.ndarray, xr: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Mixing layer: ``(2 X_L + X_R, X_L + 2 X_R)``.
+
+    Computed with three additions, exactly as the hardware does
+    (Sec. III-D): s = X_L + X_R; left = X_L + s; right = X_R + s.
+    """
+    s = field.vec_add(xl, xr)
+    return field.vec_add(xl, s), field.vec_add(xr, s)
+
+
+def feistel_sbox(field: PrimeField, state: np.ndarray) -> np.ndarray:
+    """S': ``y_0 = x_0``; ``y_j = x_j + x_{j-1}^2`` over the full 2t state."""
+    squares = field.vec_mul(state[:-1], state[:-1])
+    out = state.copy()
+    out[1:] = field.vec_add(state[1:], squares)
+    return out
+
+
+def cube_sbox(field: PrimeField, state: np.ndarray) -> np.ndarray:
+    """S: ``y_j = x_j^3`` (two multiplications per element)."""
+    return field.vec_mul(field.vec_mul(state, state), state)
+
+
+def feistel_sbox_inverse(field: PrimeField, state: np.ndarray) -> np.ndarray:
+    """Inverse of S' (sequential: y_j - y'_{j-1}^2 front to back)."""
+    out = state.copy()
+    for j in range(1, state.shape[0]):
+        out[j] = field.sub(int(state[j]), field.square(int(out[j - 1])))
+    return out
+
+
+def cube_sbox_inverse(field: PrimeField, state: np.ndarray) -> np.ndarray:
+    """Inverse of S: cube root, i.e. power 3^{-1} mod (p-1).
+
+    Requires gcd(3, p-1) = 1, which holds for all moduli in
+    :mod:`repro.ff.params` (and is asserted here).
+    """
+    p = field.p
+    from math import gcd
+
+    if gcd(3, p - 1) != 1:
+        raise ValueError(f"x^3 is not a bijection mod {p}")
+    e = pow(3, -1, p - 1)
+    return field.coerce(np.array([pow(int(x), e, p) for x in state], dtype=object))
+
+
+def truncate(state_l: np.ndarray) -> np.ndarray:
+    """Trunc: the keystream is the left half of the final state."""
+    return state_l.copy()

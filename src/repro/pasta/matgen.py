@@ -1,0 +1,65 @@
+"""Invertible sequential matrix generation (paper Sec. II-C, Eq. (1)).
+
+The affine layer's t x t matrix is never sampled wholesale: only its first
+row ``alpha`` comes from the XOF. Subsequent rows follow the PHOTON/LED
+"sequential" recurrence — row_{j+1} = row_j . C, where ``C`` is the
+companion-style matrix with ones on the superdiagonal and ``alpha`` as its
+last row. Expanding the product, the hardware-friendly row update is::
+
+    row_{j+1}[0] = row_j[t-1] * alpha[0]
+    row_{j+1}[k] = row_j[k-1] + row_j[t-1] * alpha[k]      (k >= 1)
+
+i.e. one multiply-accumulate per output element — exactly the MAC array of
+the paper's MatGen unit (Fig. 5). The first-row elements are sampled with
+zero excluded, which keeps the construction invertible in practice (an
+exhaustive empirical check lives in the test suite; a genuinely singular
+draw would be rejected by :func:`generate_matrix` at circuit-build time).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.ff.prime import PrimeField
+
+
+def next_row(field: PrimeField, row: np.ndarray, alpha: np.ndarray) -> np.ndarray:
+    """One step of the sequential recurrence: ``row . C(alpha)``."""
+    shifted = np.roll(row, 1)
+    shifted[0] = 0
+    feedback = int(row[-1])
+    return field.vec_add(shifted, field.scalar_mul(feedback, alpha))
+
+
+def iter_rows(field: PrimeField, alpha: np.ndarray) -> Iterator[np.ndarray]:
+    """Yield the t rows of the sequential matrix, starting from ``alpha``.
+
+    Only two rows live at a time (``alpha`` plus the current row) — the
+    memory optimization the paper credits for eliminating matrix storage.
+    """
+    alpha = field.coerce(np.asarray(alpha))
+    row = alpha
+    for _ in range(alpha.shape[0]):
+        yield row
+        row = next_row(field, row, alpha)
+
+
+def generate_matrix(field: PrimeField, alpha: np.ndarray) -> np.ndarray:
+    """Materialize the full t x t sequential matrix (reference path only)."""
+    rows = list(iter_rows(field, alpha))
+    return np.stack(rows) if field.dtype is np.int64 else np.array(rows, dtype=object)
+
+
+def streaming_mat_vec(field: PrimeField, alpha: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Compute ``M(alpha) . x`` row-by-row without storing the matrix.
+
+    This mirrors the hardware dataflow: each generated row is immediately
+    consumed by a dot product against the state vector.
+    """
+    x = field.coerce(np.asarray(x))
+    out = field.zeros(x.shape[0])
+    for j, row in enumerate(iter_rows(field, alpha)):
+        out[j] = field.dot(row, x)
+    return out

@@ -1,0 +1,40 @@
+"""Per-block XOF instantiation for PASTA (paper Fig. 2).
+
+The nonce and counter are *public*: the server re-derives the same matrices
+and round constants when evaluating the decryption circuit homomorphically.
+The exact byte-level instantiation below is self-defined (the upstream
+PASTA test vectors are not reachable offline — see DESIGN.md Sec. 2); every
+component of this repository (software cipher, hardware model, SoC
+peripheral, HHE server) derives its randomness through this one function,
+so all of them agree bit-exactly.
+
+Layout absorbed into SHAKE128::
+
+    "PASTA-on-Edge-v1" || t (2B BE) || rounds (1B) || p (8B BE)
+                       || nonce (8B BE) || counter (8B BE)
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.keccak.shake import Shake, shake128
+from repro.pasta.params import PastaParams
+
+DOMAIN_TAG = b"PASTA-on-Edge-v1"
+
+_U64_MAX = (1 << 64) - 1
+
+
+def encode_block_seed(params: PastaParams, nonce: int, counter: int) -> bytes:
+    """Serialize the public per-block seed material."""
+    if not 0 <= nonce <= _U64_MAX:
+        raise ValueError(f"nonce must fit in 64 bits, got {nonce}")
+    if not 0 <= counter <= _U64_MAX:
+        raise ValueError(f"counter must fit in 64 bits, got {counter}")
+    return DOMAIN_TAG + struct.pack(">HBQQQ", params.t, params.rounds, params.p, nonce, counter)
+
+
+def block_xof(params: PastaParams, nonce: int, counter: int) -> Shake:
+    """SHAKE128 instance seeded with the public per-block material."""
+    return shake128(encode_block_seed(params, nonce, counter))

@@ -1,0 +1,25 @@
+"""RISC-V SoC substrate: RV32IM ISS, assembler, bus, and the PASTA peripheral."""
+
+from repro.soc.assembler import Assembler
+from repro.soc.bus import Bus, Device, Ram
+from repro.soc.cpu import CpuStats, Rv32Cpu
+from repro.soc.peripheral import START_OVERHEAD, PastaPeripheral
+from repro.soc.programs import DEFAULT_LAYOUT, MemoryLayout, build_driver
+from repro.soc.soc import RAM_SIZE, PastaSoC, SocRunResult
+
+__all__ = [
+    "Assembler",
+    "Bus",
+    "CpuStats",
+    "DEFAULT_LAYOUT",
+    "Device",
+    "MemoryLayout",
+    "PastaPeripheral",
+    "PastaSoC",
+    "RAM_SIZE",
+    "Ram",
+    "Rv32Cpu",
+    "START_OVERHEAD",
+    "SocRunResult",
+    "build_driver",
+]

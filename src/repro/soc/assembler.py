@@ -1,0 +1,263 @@
+"""A small two-pass RV32IM assembler for the SoC driver firmware.
+
+Supported syntax (GNU-as flavored subset)::
+
+    label:              # labels
+    addi a0, a0, 4      # base instructions
+    lw   a1, 8(sp)      # loads/stores with offset(base)
+    li   t0, 0x10001    # pseudo: expands to lui+addi as needed
+    la   t1, buffer     # pseudo: absolute address of a label (lui+addi)
+    mv / not / neg / nop / j / jr / ret / call
+    beqz / bnez         # pseudo branches
+    .word 1, 2, 3       # data directives
+    .zero N             # N zero bytes
+    .align 2            # align to 2^n bytes
+
+Comments start with ``#`` or ``//``. Numbers may be decimal, hex (0x...),
+or negative. The assembler is deliberately strict: anything unrecognized
+raises :class:`~repro.errors.AssemblerError` with a line number.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.errors import AssemblerError
+from repro.soc import isa
+
+_LABEL_RE = re.compile(r"^[A-Za-z_.][\w.]*$")
+_MEM_RE = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+
+def _parse_int(token: str, line: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"line {line}: expected integer, got {token!r}") from None
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [tok.strip() for tok in rest.split(",") if tok.strip()] if rest.strip() else []
+
+
+class Assembler:
+    """Two-pass assembler producing a flat little-endian image."""
+
+    def __init__(self, base_address: int = 0):
+        self.base_address = base_address
+
+    # -- public API ------------------------------------------------------------
+
+    def assemble(self, source: str) -> bytes:
+        """Assemble ``source`` into a flat little-endian image."""
+        listing = self.assemble_with_listing(source)
+        if not listing:
+            return b""
+        base = self.base_address
+        end = max(a for a, _, _ in listing) + 4
+        image = bytearray(end - base)
+        for addr, word, _ in listing:
+            image[addr - base : addr - base + 4] = word.to_bytes(4, "little")
+        return bytes(image)
+
+    def symbols(self, source: str) -> Dict[str, int]:
+        """Return the resolved label addresses of a program."""
+        return self._layout(self._tokenize(source))
+
+    # -- pass 0: tokenize --------------------------------------------------------
+
+    def _tokenize(self, source: str) -> List[Tuple]:
+        items: List[Tuple] = []  # ("insn"|"word"|"zero"|"label", payload, line)
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            line = raw.split("#", 1)[0].split("//", 1)[0].strip()
+            if not line:
+                continue
+            while ":" in line:
+                label, line = line.split(":", 1)
+                label = label.strip()
+                if not _LABEL_RE.match(label):
+                    raise AssemblerError(f"line {lineno}: bad label {label!r}")
+                items.append(("label", label, lineno))
+                line = line.strip()
+            if not line:
+                continue
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            rest = parts[1] if len(parts) > 1 else ""
+            if mnemonic == ".word":
+                values = [_parse_int(v, lineno) for v in _split_operands(rest)]
+                items.append(("word", values, lineno))
+            elif mnemonic == ".zero":
+                count = _parse_int(rest.strip(), lineno)
+                if count % 4:
+                    raise AssemblerError(f"line {lineno}: .zero must be word-aligned")
+                items.append(("word", [0] * (count // 4), lineno))
+            elif mnemonic == ".align":
+                items.append(("align", _parse_int(rest.strip(), lineno), lineno))
+            elif mnemonic.startswith("."):
+                raise AssemblerError(f"line {lineno}: unsupported directive {mnemonic!r}")
+            else:
+                items.append(("insn", (mnemonic, _split_operands(rest)), lineno))
+        return items
+
+    # -- pass 1: layout ------------------------------------------------------------
+
+    def _insn_words(self, mnemonic: str, ops: List[str], line: int) -> int:
+        if mnemonic in ("li", "la"):
+            return 2  # always lui+addi for deterministic layout
+        if mnemonic == "call":
+            return 1
+        return 1
+
+    def _layout(self, items: List[Tuple]) -> Dict[str, int]:
+        labels: Dict[str, int] = {}
+        addr = self.base_address
+        for kind, payload, line in items:
+            if kind == "label":
+                if payload in labels:
+                    raise AssemblerError(f"line {line}: duplicate label {payload!r}")
+                labels[payload] = addr
+            elif kind == "word":
+                addr += 4 * len(payload)
+            elif kind == "align":
+                size = 1 << payload
+                addr = (addr + size - 1) // size * size
+            else:
+                mnemonic, ops = payload
+                addr += 4 * self._insn_words(mnemonic, ops, line)
+        return labels
+
+    # -- pass 2: emit ------------------------------------------------------------
+
+    def assemble_with_listing(self, source: str) -> List[Tuple[int, int, str]]:
+        """Assemble and return (address, word, source-ish) triples (debug aid)."""
+        items = self._tokenize(source)
+        labels = self._layout(items)
+        addr = self.base_address
+        listing: List[Tuple[int, int, str]] = []
+        for kind, payload, line in items:
+            if kind == "label":
+                continue
+            if kind == "word":
+                for v in payload:
+                    listing.append((addr, v & 0xFFFFFFFF, ".word"))
+                    addr += 4
+                continue
+            if kind == "align":
+                size = 1 << payload
+                while addr % size:
+                    listing.append((addr, 0x13, "nop(pad)"))
+                    addr += 4
+                continue
+            mnemonic, ops = payload
+            for w in self._encode_insn(mnemonic, ops, labels, line, addr):
+                listing.append((addr, w, mnemonic))
+                addr += 4
+        return listing
+
+    def _resolve(self, token: str, labels: Dict[str, int], line: int) -> int:
+        if token in labels:
+            return labels[token]
+        return _parse_int(token, line)
+
+    def _encode_insn(
+        self, m: str, ops: List[str], labels: Dict[str, int], line: int, addr: int = 0
+    ) -> List[int]:
+        R = isa.register_number
+        try:
+            # -- pseudo-instructions ---------------------------------------
+            if m == "nop":
+                return [isa.encode_i(isa.OP_IMM, 0, 0, 0, 0)]
+            if m == "mv":
+                return [isa.encode_i(isa.OP_IMM, R(ops[0]), 0, R(ops[1]), 0)]
+            if m == "not":
+                return [isa.encode_i(isa.OP_IMM, R(ops[0]), 0b100, R(ops[1]), -1)]
+            if m == "neg":
+                return [isa.encode_r(isa.OP_REG, R(ops[0]), 0, 0, R(ops[1]), 0b0100000)]
+            if m in ("li", "la"):
+                rd = R(ops[0])
+                value = self._resolve(ops[1], labels, line) & 0xFFFFFFFF
+                low = isa.sign_extend(value, 12)
+                high = ((value - low) >> 12) & 0xFFFFF
+                return [
+                    isa.encode_u(isa.OP_LUI, rd, high),
+                    isa.encode_i(isa.OP_IMM, rd, 0, rd, low),
+                ]
+            if m == "j":
+                target = self._resolve(ops[0], labels, line)
+                return [isa.encode_j(isa.OP_JAL, 0, target - addr)]
+            if m == "call":
+                target = self._resolve(ops[0], labels, line)
+                return [isa.encode_j(isa.OP_JAL, 1, target - addr)]
+            if m == "jr":
+                return [isa.encode_i(isa.OP_JALR, 0, 0, R(ops[0]), 0)]
+            if m == "ret":
+                return [isa.encode_i(isa.OP_JALR, 0, 0, 1, 0)]
+            if m == "beqz":
+                target = self._resolve(ops[1], labels, line)
+                return [isa.encode_b(isa.OP_BRANCH, 0b000, R(ops[0]), 0, target - addr)]
+            if m == "bnez":
+                target = self._resolve(ops[1], labels, line)
+                return [isa.encode_b(isa.OP_BRANCH, 0b001, R(ops[0]), 0, target - addr)]
+            if m == "ebreak":
+                return [isa.encode_i(isa.OP_SYSTEM, 0, 0, 0, 1)]
+            if m == "ecall":
+                return [isa.encode_i(isa.OP_SYSTEM, 0, 0, 0, 0)]
+            if m == "fence":
+                return [isa.encode_i(isa.OP_FENCE, 0, 0, 0, 0)]
+
+            # -- base instructions ------------------------------------------
+            if m == "lui":
+                return [isa.encode_u(isa.OP_LUI, R(ops[0]), _parse_int(ops[1], line))]
+            if m == "auipc":
+                return [isa.encode_u(isa.OP_AUIPC, R(ops[0]), _parse_int(ops[1], line))]
+            if m == "jal":
+                if len(ops) == 1:
+                    ops = ["ra"] + ops
+                target = self._resolve(ops[1], labels, line)
+                return [isa.encode_j(isa.OP_JAL, R(ops[0]), target - addr)]
+            if m == "jalr":
+                match = _MEM_RE.match(ops[1]) if len(ops) == 2 else None
+                if match:
+                    imm, base = match.groups()
+                    return [isa.encode_i(isa.OP_JALR, R(ops[0]), 0, R(base), _parse_int(imm, line))]
+                return [isa.encode_i(isa.OP_JALR, R(ops[0]), 0, R(ops[1]), _parse_int(ops[2], line))]
+            if m in isa.BRANCH_FUNCT3:
+                target = self._resolve(ops[2], labels, line)
+                return [
+                    isa.encode_b(isa.OP_BRANCH, isa.BRANCH_FUNCT3[m], R(ops[0]), R(ops[1]), target - addr)
+                ]
+            if m in isa.LOAD_FUNCT3:
+                match = _MEM_RE.match(ops[1])
+                if not match:
+                    raise AssemblerError(f"line {line}: expected offset(base), got {ops[1]!r}")
+                imm, base = match.groups()
+                return [
+                    isa.encode_i(isa.OP_LOAD, R(ops[0]), isa.LOAD_FUNCT3[m], R(base), _parse_int(imm, line))
+                ]
+            if m in isa.STORE_FUNCT3:
+                match = _MEM_RE.match(ops[1])
+                if not match:
+                    raise AssemblerError(f"line {line}: expected offset(base), got {ops[1]!r}")
+                imm, base = match.groups()
+                return [
+                    isa.encode_s(isa.OP_STORE, isa.STORE_FUNCT3[m], R(base), R(ops[0]), _parse_int(imm, line))
+                ]
+            if m in ("slli", "srli", "srai"):
+                shamt = _parse_int(ops[2], line)
+                if not 0 <= shamt < 32:
+                    raise AssemblerError(f"line {line}: shift amount {shamt} out of range")
+                funct7 = 0b0100000 if m == "srai" else 0
+                word = isa.encode_i(isa.OP_IMM, R(ops[0]), isa.IMM_FUNCT3[m], R(ops[1]), shamt)
+                return [word | (funct7 << 25)]
+            if m in isa.IMM_FUNCT3:
+                return [
+                    isa.encode_i(isa.OP_IMM, R(ops[0]), isa.IMM_FUNCT3[m], R(ops[1]), _parse_int(ops[2], line))
+                ]
+            if m in isa.REG_FUNCT:
+                funct3, funct7 = isa.REG_FUNCT[m]
+                return [isa.encode_r(isa.OP_REG, R(ops[0]), funct3, R(ops[1]), R(ops[2]), funct7)]
+        except (IndexError, ValueError) as exc:
+            raise AssemblerError(f"line {line}: bad operands for {m!r}: {exc}") from None
+        raise AssemblerError(f"line {line}: unknown mnemonic {m!r}")

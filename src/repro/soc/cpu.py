@@ -1,0 +1,301 @@
+"""RV32IM instruction-set simulator with Ibex-like cycle accounting.
+
+Timing follows the 2-stage Ibex "small" configuration the paper integrates:
+
+=================  ======
+instruction class  cycles
+=================  ======
+ALU / LUI / AUIPC  1
+load               2 (+1 bus latency)
+store              2 (+1 bus latency)
+taken branch       3
+untaken branch     1
+JAL / JALR         2
+MUL (fast mult.)   3
+DIV / REM          37
+=================  ======
+
+``ecall`` halts the simulation (the firmware's exit); ``ebreak`` raises a
+:class:`~repro.errors.TrapError`. The core calls ``bus.tick(cycle)`` after
+every instruction so peripherals see a monotonically advancing clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import TrapError
+from repro.soc import isa
+from repro.soc.bus import Bus
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+@dataclass
+class CpuStats:
+    """Retired-instruction and cycle counters."""
+
+    instructions: int = 0
+    cycles: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches_taken: int = 0
+    per_class: Dict[str, int] = field(default_factory=dict)
+
+    def bump(self, kind: str) -> None:
+        self.per_class[kind] = self.per_class.get(kind, 0) + 1
+
+
+class Rv32Cpu:
+    """A straightforward fetch-decode-execute RV32IM interpreter."""
+
+    LOAD_CYCLES = 2
+    STORE_CYCLES = 2
+    BRANCH_TAKEN_CYCLES = 3
+    JUMP_CYCLES = 2
+    MUL_CYCLES = 3
+    DIV_CYCLES = 37
+
+    def __init__(self, bus: Bus, pc: int = 0):
+        self.bus = bus
+        self.pc = pc
+        self.regs = [0] * 32
+        self.stats = CpuStats()
+        self.halted = False
+
+    # -- register access ---------------------------------------------------------
+
+    def _set(self, rd: int, value: int) -> None:
+        if rd:
+            self.regs[rd] = value & _MASK32
+
+    # -- main loop -----------------------------------------------------------------
+
+    def run(self, max_instructions: int = 50_000_000) -> CpuStats:
+        """Run until ``ecall`` or the instruction budget is exhausted."""
+        remaining = max_instructions
+        while not self.halted:
+            if remaining <= 0:
+                raise TrapError(f"instruction budget exhausted at pc={self.pc:#010x}")
+            self.step()
+            remaining -= 1
+        return self.stats
+
+    def step(self) -> None:
+        """Execute one instruction, charging its cycle cost."""
+        word = self.bus.read32(self.pc)
+        cycles = self._execute(word)
+        self.stats.instructions += 1
+        self.stats.cycles += cycles
+        self.bus.tick(self.stats.cycles)
+
+    # -- decode + execute -------------------------------------------------------------
+
+    def _execute(self, word: int) -> int:
+        opcode = word & 0x7F
+        rd = (word >> 7) & 0x1F
+        funct3 = (word >> 12) & 0x7
+        rs1 = (word >> 15) & 0x1F
+        rs2 = (word >> 20) & 0x1F
+        funct7 = word >> 25
+
+        next_pc = (self.pc + 4) & _MASK32
+        cycles = 1
+
+        if opcode == isa.OP_LUI:
+            self._set(rd, word & 0xFFFFF000)
+            self.stats.bump("alu")
+        elif opcode == isa.OP_AUIPC:
+            self._set(rd, self.pc + (word & 0xFFFFF000))
+            self.stats.bump("alu")
+        elif opcode == isa.OP_JAL:
+            imm = self._imm_j(word)
+            self._set(rd, next_pc)
+            next_pc = (self.pc + imm) & _MASK32
+            cycles = self.JUMP_CYCLES
+            self.stats.bump("jump")
+        elif opcode == isa.OP_JALR:
+            imm = isa.sign_extend(word >> 20, 12)
+            target = (self.regs[rs1] + imm) & _MASK32 & ~1
+            self._set(rd, next_pc)
+            next_pc = target
+            cycles = self.JUMP_CYCLES
+            self.stats.bump("jump")
+        elif opcode == isa.OP_BRANCH:
+            taken = self._branch_taken(funct3, self.regs[rs1], self.regs[rs2], word)
+            if taken:
+                next_pc = (self.pc + self._imm_b(word)) & _MASK32
+                cycles = self.BRANCH_TAKEN_CYCLES
+                self.stats.branches_taken += 1
+            self.stats.bump("branch")
+        elif opcode == isa.OP_LOAD:
+            imm = isa.sign_extend(word >> 20, 12)
+            address = (self.regs[rs1] + imm) & _MASK32
+            self._set(rd, self._load(funct3, address, word))
+            cycles = self.LOAD_CYCLES + Bus.ACCESS_LATENCY
+            self.stats.loads += 1
+            self.stats.bump("load")
+        elif opcode == isa.OP_STORE:
+            imm = isa.sign_extend(((word >> 25) << 5) | ((word >> 7) & 0x1F), 12)
+            address = (self.regs[rs1] + imm) & _MASK32
+            self._store(funct3, address, self.regs[rs2], word)
+            cycles = self.STORE_CYCLES + Bus.ACCESS_LATENCY
+            self.stats.stores += 1
+            self.stats.bump("store")
+        elif opcode == isa.OP_IMM:
+            self._set(rd, self._alu_imm(funct3, self.regs[rs1], word))
+            self.stats.bump("alu")
+        elif opcode == isa.OP_REG:
+            value, cycles = self._alu_reg(funct3, funct7, self.regs[rs1], self.regs[rs2], word)
+            self._set(rd, value)
+            self.stats.bump("alu" if cycles == 1 else "muldiv")
+        elif opcode == isa.OP_FENCE:
+            self.stats.bump("fence")
+        elif opcode == isa.OP_SYSTEM:
+            imm = word >> 20
+            if imm == 0:  # ecall: firmware exit
+                self.halted = True
+                self.stats.bump("ecall")
+            elif imm == 1:  # ebreak
+                raise TrapError(f"ebreak at pc={self.pc:#010x}")
+            else:
+                raise TrapError(f"unsupported SYSTEM instruction {word:#010x} at {self.pc:#010x}")
+        else:
+            raise TrapError(f"illegal instruction {word:#010x} at pc={self.pc:#010x}")
+
+        self.pc = next_pc
+        return cycles
+
+    # -- helpers -------------------------------------------------------------------
+
+    @staticmethod
+    def _imm_j(word: int) -> int:
+        imm = (
+            (((word >> 31) & 1) << 20)
+            | (((word >> 21) & 0x3FF) << 1)
+            | (((word >> 20) & 1) << 11)
+            | (((word >> 12) & 0xFF) << 12)
+        )
+        return isa.sign_extend(imm, 21)
+
+    @staticmethod
+    def _imm_b(word: int) -> int:
+        imm = (
+            (((word >> 31) & 1) << 12)
+            | (((word >> 25) & 0x3F) << 5)
+            | (((word >> 8) & 0xF) << 1)
+            | (((word >> 7) & 1) << 11)
+        )
+        return isa.sign_extend(imm, 13)
+
+    def _branch_taken(self, funct3: int, a: int, b: int, word: int) -> bool:
+        if funct3 == 0b000:
+            return a == b
+        if funct3 == 0b001:
+            return a != b
+        if funct3 == 0b100:
+            return _signed(a) < _signed(b)
+        if funct3 == 0b101:
+            return _signed(a) >= _signed(b)
+        if funct3 == 0b110:
+            return a < b
+        if funct3 == 0b111:
+            return a >= b
+        raise TrapError(f"illegal branch funct3 in {word:#010x}")
+
+    def _load(self, funct3: int, address: int, word: int) -> int:
+        if funct3 == 0b010:
+            return self.bus.read32(address)
+        if funct3 == 0b000:
+            return isa.sign_extend(self.bus.read8(address), 8) & _MASK32
+        if funct3 == 0b100:
+            return self.bus.read8(address)
+        if funct3 == 0b001:
+            return isa.sign_extend(self.bus.read16(address), 16) & _MASK32
+        if funct3 == 0b101:
+            return self.bus.read16(address)
+        raise TrapError(f"illegal load funct3 in {word:#010x}")
+
+    def _store(self, funct3: int, address: int, value: int, word: int) -> None:
+        if funct3 == 0b010:
+            self.bus.write32(address, value)
+        elif funct3 == 0b000:
+            self.bus.write8(address, value)
+        elif funct3 == 0b001:
+            self.bus.write16(address, value)
+        else:
+            raise TrapError(f"illegal store funct3 in {word:#010x}")
+
+    def _alu_imm(self, funct3: int, a: int, word: int) -> int:
+        imm = isa.sign_extend(word >> 20, 12)
+        if funct3 == 0b000:
+            return a + imm
+        if funct3 == 0b010:
+            return 1 if _signed(a) < imm else 0
+        if funct3 == 0b011:
+            return 1 if a < (imm & _MASK32) else 0
+        if funct3 == 0b100:
+            return a ^ (imm & _MASK32)
+        if funct3 == 0b110:
+            return a | (imm & _MASK32)
+        if funct3 == 0b111:
+            return a & (imm & _MASK32)
+        shamt = (word >> 20) & 0x1F
+        if funct3 == 0b001:
+            return a << shamt
+        if funct3 == 0b101:
+            if word >> 30 & 1:
+                return _signed(a) >> shamt
+            return a >> shamt
+        raise TrapError(f"illegal OP-IMM funct3 in {word:#010x}")
+
+    def _alu_reg(self, funct3: int, funct7: int, a: int, b: int, word: int):
+        if funct7 == 0b0000001:  # M extension
+            sa, sb = _signed(a), _signed(b)
+            if funct3 == 0b000:
+                return a * b, self.MUL_CYCLES
+            if funct3 == 0b001:
+                return (sa * sb) >> 32, self.MUL_CYCLES
+            if funct3 == 0b010:
+                return (sa * b) >> 32, self.MUL_CYCLES
+            if funct3 == 0b011:
+                return (a * b) >> 32, self.MUL_CYCLES
+            if funct3 == 0b100:  # div (rounds toward zero)
+                if b == 0:
+                    return _MASK32, self.DIV_CYCLES
+                if sa == -(1 << 31) and sb == -1:
+                    return a, self.DIV_CYCLES
+                return int(abs(sa) // abs(sb)) * (1 if (sa < 0) == (sb < 0) else -1), self.DIV_CYCLES
+            if funct3 == 0b101:  # divu
+                return (_MASK32 if b == 0 else a // b), self.DIV_CYCLES
+            if funct3 == 0b110:  # rem
+                if b == 0:
+                    return a, self.DIV_CYCLES
+                if sa == -(1 << 31) and sb == -1:
+                    return 0, self.DIV_CYCLES
+                return sa - (int(abs(sa) // abs(sb)) * (1 if (sa < 0) == (sb < 0) else -1)) * sb, self.DIV_CYCLES
+            if funct3 == 0b111:  # remu
+                return (a if b == 0 else a % b), self.DIV_CYCLES
+        shift = b & 0x1F
+        if funct3 == 0b000:
+            return (a - b if funct7 == 0b0100000 else a + b), 1
+        if funct3 == 0b001:
+            return a << shift, 1
+        if funct3 == 0b010:
+            return (1 if _signed(a) < _signed(b) else 0), 1
+        if funct3 == 0b011:
+            return (1 if a < b else 0), 1
+        if funct3 == 0b100:
+            return a ^ b, 1
+        if funct3 == 0b101:
+            return ((_signed(a) >> shift) if funct7 == 0b0100000 else (a >> shift)), 1
+        if funct3 == 0b110:
+            return a | b, 1
+        if funct3 == 0b111:
+            return a & b, 1
+        raise TrapError(f"illegal OP funct3 in {word:#010x}")

@@ -1,0 +1,149 @@
+"""RV32IM instruction encodings shared by the assembler and the core.
+
+Only the subset needed by the SoC driver firmware is implemented, which is
+the full RV32I base integer ISA plus the M extension — the same ISA level
+as the Ibex core the paper integrates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+# -- register names ------------------------------------------------------------
+
+ABI_NAMES = {
+    "zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+    "t0": 5, "t1": 6, "t2": 7,
+    "s0": 8, "fp": 8, "s1": 9,
+    "a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15, "a6": 16, "a7": 17,
+    "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23, "s8": 24, "s9": 25,
+    "s10": 26, "s11": 27,
+    "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+
+def register_number(name: str) -> int:
+    """Resolve ``x5`` / ``t0`` style register names to their index."""
+    name = name.strip().lower()
+    if name in ABI_NAMES:
+        return ABI_NAMES[name]
+    if name.startswith("x") and name[1:].isdigit():
+        idx = int(name[1:])
+        if 0 <= idx < 32:
+            return idx
+    raise ValueError(f"unknown register {name!r}")
+
+
+# -- opcodes -------------------------------------------------------------------
+
+OP_LUI = 0b0110111
+OP_AUIPC = 0b0010111
+OP_JAL = 0b1101111
+OP_JALR = 0b1100111
+OP_BRANCH = 0b1100011
+OP_LOAD = 0b0000011
+OP_STORE = 0b0100011
+OP_IMM = 0b0010011
+OP_REG = 0b0110011
+OP_SYSTEM = 0b1110011
+OP_FENCE = 0b0001111
+
+#: funct3 for branches.
+BRANCH_FUNCT3: Dict[str, int] = {
+    "beq": 0b000, "bne": 0b001, "blt": 0b100, "bge": 0b101, "bltu": 0b110, "bgeu": 0b111,
+}
+
+#: funct3 for loads.
+LOAD_FUNCT3: Dict[str, int] = {"lb": 0b000, "lh": 0b001, "lw": 0b010, "lbu": 0b100, "lhu": 0b101}
+
+#: funct3 for stores.
+STORE_FUNCT3: Dict[str, int] = {"sb": 0b000, "sh": 0b001, "sw": 0b010}
+
+#: funct3 for OP-IMM instructions.
+IMM_FUNCT3: Dict[str, int] = {
+    "addi": 0b000, "slti": 0b010, "sltiu": 0b011, "xori": 0b100, "ori": 0b110, "andi": 0b111,
+    "slli": 0b001, "srli": 0b101, "srai": 0b101,
+}
+
+#: (funct3, funct7) for OP (register-register) instructions, incl. M ext.
+REG_FUNCT: Dict[str, tuple] = {
+    "add": (0b000, 0b0000000), "sub": (0b000, 0b0100000),
+    "sll": (0b001, 0b0000000), "slt": (0b010, 0b0000000), "sltu": (0b011, 0b0000000),
+    "xor": (0b100, 0b0000000), "srl": (0b101, 0b0000000), "sra": (0b101, 0b0100000),
+    "or": (0b110, 0b0000000), "and": (0b111, 0b0000000),
+    "mul": (0b000, 0b0000001), "mulh": (0b001, 0b0000001),
+    "mulhsu": (0b010, 0b0000001), "mulhu": (0b011, 0b0000001),
+    "div": (0b100, 0b0000001), "divu": (0b101, 0b0000001),
+    "rem": (0b110, 0b0000001), "remu": (0b111, 0b0000001),
+}
+
+# -- encoders -------------------------------------------------------------------
+
+
+def _check_range(value: int, bits: int, signed: bool, what: str) -> None:
+    lo = -(1 << (bits - 1)) if signed else 0
+    hi = (1 << (bits - 1)) - 1 if signed else (1 << bits) - 1
+    if not lo <= value <= hi:
+        raise ValueError(f"{what} {value} out of range [{lo}, {hi}]")
+
+
+def encode_r(opcode: int, rd: int, funct3: int, rs1: int, rs2: int, funct7: int) -> int:
+    return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+
+
+def encode_i(opcode: int, rd: int, funct3: int, rs1: int, imm: int) -> int:
+    _check_range(imm, 12, signed=True, what="I-immediate")
+    return ((imm & 0xFFF) << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+
+
+def encode_s(opcode: int, funct3: int, rs1: int, rs2: int, imm: int) -> int:
+    _check_range(imm, 12, signed=True, what="S-immediate")
+    imm &= 0xFFF
+    return (
+        ((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | ((imm & 0x1F) << 7) | opcode
+    )
+
+
+def encode_b(opcode: int, funct3: int, rs1: int, rs2: int, imm: int) -> int:
+    if imm % 2:
+        raise ValueError(f"branch offset must be even, got {imm}")
+    _check_range(imm, 13, signed=True, what="B-immediate")
+    imm &= 0x1FFF
+    return (
+        (((imm >> 12) & 1) << 31)
+        | (((imm >> 5) & 0x3F) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | (((imm >> 1) & 0xF) << 8)
+        | (((imm >> 11) & 1) << 7)
+        | opcode
+    )
+
+
+def encode_u(opcode: int, rd: int, imm: int) -> int:
+    _check_range(imm, 20, signed=False, what="U-immediate")
+    return ((imm & 0xFFFFF) << 12) | (rd << 7) | opcode
+
+
+def encode_j(opcode: int, rd: int, imm: int) -> int:
+    if imm % 2:
+        raise ValueError(f"jump offset must be even, got {imm}")
+    _check_range(imm, 21, signed=True, what="J-immediate")
+    imm &= 0x1FFFFF
+    return (
+        (((imm >> 20) & 1) << 31)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 12) & 0xFF) << 12)
+        | (rd << 7)
+        | opcode
+    )
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Interpret the low ``bits`` of ``value`` as a signed integer."""
+    value &= (1 << bits) - 1
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value

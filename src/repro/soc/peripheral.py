@@ -1,0 +1,186 @@
+"""Memory-mapped PASTA peripheral (paper Sec. IV-A, platform 3).
+
+The peripheral is *loosely coupled*: it sits on the core's data bus as a
+slave (configuration, key/nonce loading, status polling, ciphertext
+read-out) and masters a second bus with direct read access to RAM for
+fetching plaintext blocks (DMA). Exactly as the paper describes, one block
+must complete before the next can be configured — the single core-side bus
+serializes everything else.
+
+Register map (word offsets from the peripheral base)::
+
+    0x00  CTRL       write 1: start block; write 2: reset key index
+    0x04  STATUS     reads 1 while busy, 0 when idle/done
+    0x08  NONCE_LO   0x0C NONCE_HI
+    0x10  CTR_LO     0x14 CTR_HI
+    0x18  SRC_ADDR   RAM byte address of the plaintext block
+    0x1C  NELEMS     elements in this block (<= t)
+    0x20  KEY_PUSH   write 2t times to load the key (auto-increment)
+    0x24  BLOCK_CYCLES  accelerator cycles of the last completed block
+    0x100.. OUT window: t ciphertext words
+
+This model supports moduli below 2^32 (one bus word per element); the
+paper's SoC experiments use the 17-bit modulus. Timing: a block occupies
+the peripheral for ``START_OVERHEAD + nelems (DMA) + accelerator cycles``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Type
+
+from repro.errors import ParameterError, SimulationError
+from repro.hw.accelerator import PastaAccelerator
+from repro.hw.report import CycleReport
+from repro.keccak.hw_model import KeccakCoreModel, OverlappedKeccakCore
+from repro.pasta.params import PastaParams
+from repro.soc.bus import Device, Ram
+
+CTRL = 0x00
+STATUS = 0x04
+NONCE_LO = 0x08
+NONCE_HI = 0x0C
+CTR_LO = 0x10
+CTR_HI = 0x14
+SRC_ADDR = 0x18
+NELEMS = 0x1C
+KEY_PUSH = 0x20
+BLOCK_CYCLES = 0x24
+OUT_WINDOW = 0x100
+
+#: Handshake cycles charged per start (address decode + control FSM).
+START_OVERHEAD = 10
+
+
+class PastaPeripheral(Device):
+    """Bus-attached behavioral model of the PASTA accelerator peripheral."""
+
+    def __init__(
+        self,
+        base: int,
+        params: PastaParams,
+        ram: Ram,
+        name: str = "pasta",
+        core_cls: Type[KeccakCoreModel] = OverlappedKeccakCore,
+    ):
+        if params.p >= 1 << 32:
+            raise ParameterError(
+                "the SoC peripheral model supports moduli below 2^32 "
+                "(one bus word per element); the paper's SoC uses omega=17"
+            )
+        size = OUT_WINDOW + 4 * params.t
+        size = (size + 0xFFF) & ~0xFFF  # round to a 4 KiB page
+        super().__init__(base, size, name)
+        self.params = params
+        self.ram = ram
+        self.core_cls = core_cls
+
+        self._key: List[int] = []
+        self._nonce_lo = 0
+        self._nonce_hi = 0
+        self._ctr_lo = 0
+        self._ctr_hi = 0
+        self._src_addr = 0
+        self._nelems = 0
+        self._out: List[int] = [0] * params.t
+        self._busy_until = 0
+        self._now = 0
+        self._last_report: Optional[CycleReport] = None
+        #: reports of every completed block (for the SoC-level analysis)
+        self.reports: List[CycleReport] = []
+
+    # -- device interface ----------------------------------------------------
+
+    def tick(self, cycles: int) -> None:
+        self._now = cycles
+
+    @property
+    def busy(self) -> bool:
+        return self._now < self._busy_until
+
+    def read32(self, offset: int) -> int:
+        if offset == STATUS:
+            return 1 if self.busy else 0
+        if offset == BLOCK_CYCLES:
+            return self._last_report.total_cycles if self._last_report else 0
+        if offset >= OUT_WINDOW:
+            index = (offset - OUT_WINDOW) // 4
+            if index >= self.params.t:
+                raise SimulationError(f"OUT window read beyond t at offset {offset:#x}")
+            if self.busy:
+                raise SimulationError("OUT window read while the peripheral is busy")
+            return self._out[index] & 0xFFFFFFFF
+        registers = {
+            NONCE_LO: self._nonce_lo,
+            NONCE_HI: self._nonce_hi,
+            CTR_LO: self._ctr_lo,
+            CTR_HI: self._ctr_hi,
+            SRC_ADDR: self._src_addr,
+            NELEMS: self._nelems,
+        }
+        if offset in registers:
+            return registers[offset]
+        raise SimulationError(f"read from unmapped peripheral offset {offset:#x}")
+
+    def write32(self, offset: int, value: int) -> None:
+        value &= 0xFFFFFFFF
+        if offset == CTRL:
+            if value & 0x2:
+                self._key = []
+            if value & 0x1:
+                self._start_block()
+            return
+        if self.busy:
+            raise SimulationError("configuration write while the peripheral is busy")
+        if offset == NONCE_LO:
+            self._nonce_lo = value
+        elif offset == NONCE_HI:
+            self._nonce_hi = value
+        elif offset == CTR_LO:
+            self._ctr_lo = value
+        elif offset == CTR_HI:
+            self._ctr_hi = value
+        elif offset == SRC_ADDR:
+            self._src_addr = value
+        elif offset == NELEMS:
+            if value > self.params.t:
+                raise SimulationError(f"NELEMS {value} exceeds t={self.params.t}")
+            self._nelems = value
+        elif offset == KEY_PUSH:
+            if len(self._key) >= self.params.key_size:
+                raise SimulationError("key window overflow (reset the key index first)")
+            if value >= self.params.p:
+                raise SimulationError(f"key element {value} not reduced mod {self.params.p}")
+            self._key.append(value)
+        else:
+            raise SimulationError(f"write to unmapped peripheral offset {offset:#x}")
+
+    # -- block execution --------------------------------------------------------
+
+    def _start_block(self) -> None:
+        if self.busy:
+            raise SimulationError("start while busy: blocks must be processed serially")
+        if len(self._key) != self.params.key_size:
+            raise SimulationError(
+                f"key not fully loaded: {len(self._key)}/{self.params.key_size} elements"
+            )
+        if self._nelems == 0:
+            raise SimulationError("NELEMS is zero")
+
+        # DMA: direct read access to RAM over the peripheral's master bus.
+        message = [
+            self.ram.read32(self._src_addr - self.ram.base + 4 * i) for i in range(self._nelems)
+        ]
+        for m in message:
+            if m >= self.params.p:
+                raise SimulationError(f"plaintext element {m} not reduced mod {self.params.p}")
+
+        nonce = (self._nonce_hi << 32) | self._nonce_lo
+        counter = (self._ctr_hi << 32) | self._ctr_lo
+        accel = PastaAccelerator(self.params, self._key, core_cls=self.core_cls)
+        ciphertext, report = accel.encrypt_block(message, nonce, counter)
+
+        self._out = [int(c) for c in ciphertext] + [0] * (self.params.t - len(message))
+        self._last_report = report
+        self.reports.append(report)
+        dma_cycles = self._nelems
+        self._busy_until = self._now + START_OVERHEAD + dma_cycles + report.total_cycles

@@ -1,0 +1,121 @@
+"""Driver firmware for the PASTA peripheral, generated as RV32 assembly.
+
+The firmware mirrors the software flow the paper's SoC runs: load the key
+once, then for each block configure counter/source/length, pulse START,
+poll STATUS, and drain the ciphertext from the OUT window into RAM. The
+single data bus means all of this is serialized with the block processing —
+the overhead the SoC numbers include on top of the raw accelerator cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pasta.params import PastaParams
+from repro.soc import peripheral as P
+
+
+@dataclass(frozen=True)
+class MemoryLayout:
+    """Byte addresses of the firmware's data regions in RAM."""
+
+    code_base: int = 0x0000_0000
+    stack_top: int = 0x0007_FF00
+    key_base: int = 0x0001_0000  #: 2t key words
+    src_base: int = 0x0002_0000  #: plaintext, one word per element
+    dst_base: int = 0x0004_0000  #: ciphertext written back by the core
+    periph_base: int = 0x4000_0000
+
+
+DEFAULT_LAYOUT = MemoryLayout()
+
+
+def build_driver(
+    params: PastaParams,
+    nonce: int,
+    n_blocks: int,
+    n_elements_last: int,
+    layout: MemoryLayout = DEFAULT_LAYOUT,
+) -> str:
+    """Generate the driver program for ``n_blocks`` blocks.
+
+    All blocks are full (t elements) except possibly the last, which holds
+    ``n_elements_last`` elements. The block counter starts at zero and
+    increments per block, matching :meth:`repro.pasta.cipher.Pasta.encrypt`.
+    """
+    t = params.t
+    if not 1 <= n_elements_last <= t:
+        raise ValueError(f"n_elements_last must be in [1, {t}]")
+    nonce_lo = nonce & 0xFFFFFFFF
+    nonce_hi = (nonce >> 32) & 0xFFFFFFFF
+
+    return f"""
+# PASTA peripheral driver (auto-generated)
+# params: {params.name}  blocks: {n_blocks}  last-block elements: {n_elements_last}
+start:
+    li   sp, {layout.stack_top}
+    li   s0, {layout.periph_base}
+
+    # reset key index, then push the 2t key words
+    li   t0, 2
+    sw   t0, {P.CTRL}(s0)
+    li   t1, {layout.key_base}
+    li   t2, {params.key_size}
+keyload:
+    lw   t3, 0(t1)
+    sw   t3, {P.KEY_PUSH}(s0)
+    addi t1, t1, 4
+    addi t2, t2, -1
+    bnez t2, keyload
+
+    # nonce (configured once for the whole stream)
+    li   t0, {nonce_lo}
+    sw   t0, {P.NONCE_LO}(s0)
+    li   t0, {nonce_hi}
+    sw   t0, {P.NONCE_HI}(s0)
+    sw   zero, {P.CTR_HI}(s0)
+
+    # stream state: s1=src, s2=dst, s3=blocks remaining, s4=counter
+    li   s1, {layout.src_base}
+    li   s2, {layout.dst_base}
+    li   s3, {n_blocks}
+    li   s4, 0
+
+blockloop:
+    sw   s4, {P.CTR_LO}(s0)
+    sw   s1, {P.SRC_ADDR}(s0)
+    # block length: t for all blocks except the last
+    li   t0, {t}
+    li   t1, 1
+    bne  s3, t1, fullblock
+    li   t0, {n_elements_last}
+fullblock:
+    sw   t0, {P.NELEMS}(s0)
+    mv   s5, t0                 # remember the element count for the drain
+    li   t0, 1
+    sw   t0, {P.CTRL}(s0)       # START
+
+poll:
+    lw   t0, {P.STATUS}(s0)
+    bnez t0, poll
+
+    # drain the OUT window (one word per element) back to RAM
+    addi t2, s0, {P.OUT_WINDOW}
+    mv   t3, s5
+drain:
+    lw   t4, 0(t2)
+    sw   t4, 0(s2)
+    addi t2, t2, 4
+    addi s2, s2, 4
+    addi t3, t3, -1
+    bnez t3, drain
+
+    # advance source pointer by one full block of words
+    li   t0, {4 * t}
+    add  s1, s1, t0
+    addi s4, s4, 1
+    addi s3, s3, -1
+    bnez s3, blockloop
+
+    ecall                       # firmware exit
+"""

@@ -1,0 +1,131 @@
+"""The RISC-V SoC: Ibex-like core + RAM + PASTA peripheral (paper Sec. IV-A).
+
+:class:`PastaSoC` assembles the driver firmware, loads key/plaintext into
+RAM, runs the core until the firmware's ``ecall``, and returns the
+ciphertext together with full cycle accounting. The SoC targets 100 MHz on
+130/65 nm nodes, so microseconds = cycles / 100.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError, SimulationError
+from repro.hw.report import RISCV_CLOCK_MHZ, CycleReport
+from repro.pasta.params import PASTA_4, PastaParams
+from repro.soc.assembler import Assembler
+from repro.soc.bus import Bus, Ram
+from repro.soc.cpu import CpuStats, Rv32Cpu
+from repro.soc.peripheral import PastaPeripheral
+from repro.soc.programs import DEFAULT_LAYOUT, MemoryLayout, build_driver
+
+RAM_SIZE = 0x0008_0000  # 512 KiB
+
+
+@dataclass
+class SocRunResult:
+    """Outcome of one firmware run encrypting a message stream."""
+
+    ciphertext: np.ndarray
+    cpu: CpuStats
+    accel_reports: List[CycleReport]
+    n_blocks: int
+    clock_mhz: float = RISCV_CLOCK_MHZ
+
+    @property
+    def total_cycles(self) -> int:
+        return self.cpu.cycles
+
+    @property
+    def cycles_per_block(self) -> float:
+        return self.cpu.cycles / self.n_blocks
+
+    @property
+    def time_us(self) -> float:
+        return self.cpu.cycles / self.clock_mhz
+
+    @property
+    def time_us_per_block(self) -> float:
+        return self.cycles_per_block / self.clock_mhz
+
+    @property
+    def accel_cycles_per_block(self) -> float:
+        return sum(r.total_cycles for r in self.accel_reports) / len(self.accel_reports)
+
+    @property
+    def bus_overhead_per_block(self) -> float:
+        """Cycles per block spent outside the accelerator (driver + bus)."""
+        return self.cycles_per_block - self.accel_cycles_per_block
+
+
+class PastaSoC:
+    """Behavioral SoC tying the RV32IM core, RAM, and the peripheral together."""
+
+    def __init__(
+        self,
+        params: PastaParams = PASTA_4,
+        layout: MemoryLayout = DEFAULT_LAYOUT,
+        clock_mhz: float = RISCV_CLOCK_MHZ,
+    ):
+        self.params = params
+        self.layout = layout
+        self.clock_mhz = clock_mhz
+
+    def run_encryption(
+        self,
+        key: Sequence[int],
+        message: Sequence[int],
+        nonce: int,
+        max_instructions: int = 50_000_000,
+    ) -> SocRunResult:
+        """Encrypt ``message`` (field elements) through the full SoC stack."""
+        params = self.params
+        if len(key) != params.key_size:
+            raise ParameterError(f"key must have {params.key_size} elements")
+        message = [int(m) % params.p for m in message]
+        if not message:
+            raise ParameterError("message must not be empty")
+
+        t = params.t
+        n_blocks = -(-len(message) // t)
+        n_last = len(message) - (n_blocks - 1) * t
+
+        # Build the platform.
+        bus = Bus()
+        ram = Ram(self.layout.code_base, RAM_SIZE)
+        bus.attach(ram)
+        periph = PastaPeripheral(self.layout.periph_base, params, ram)
+        bus.attach(periph)
+
+        # Firmware.
+        source = build_driver(params, nonce, n_blocks, n_last, self.layout)
+        image = Assembler(self.layout.code_base).assemble(source)
+        ram.load(0, image)
+
+        # Data sections: key and plaintext, one 32-bit word per element.
+        for i, k in enumerate(key):
+            ram.write32(self.layout.key_base + 4 * i, int(k))
+        for i, m in enumerate(message):
+            ram.write32(self.layout.src_base + 4 * i, m)
+
+        cpu = Rv32Cpu(bus, pc=self.layout.code_base)
+        stats = cpu.run(max_instructions=max_instructions)
+
+        if len(periph.reports) != n_blocks:
+            raise SimulationError(
+                f"firmware completed {len(periph.reports)} blocks, expected {n_blocks}"
+            )
+
+        ciphertext = params.field.array(
+            [ram.read32(self.layout.dst_base + 4 * i) for i in range(len(message))]
+        )
+        return SocRunResult(
+            ciphertext=ciphertext,
+            cpu=stats,
+            accel_reports=list(periph.reports),
+            n_blocks=n_blocks,
+            clock_mhz=self.clock_mhz,
+        )

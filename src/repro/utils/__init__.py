@@ -1,0 +1,17 @@
+"""Shared low-level helpers: bit manipulation, table rendering, RNG seeding."""
+
+from repro.utils.bits import (
+    bit_length_mask,
+    bytes_to_words_le,
+    rotl64,
+    words_to_bytes_le,
+)
+from repro.utils.tables import format_table
+
+__all__ = [
+    "bit_length_mask",
+    "bytes_to_words_le",
+    "format_table",
+    "rotl64",
+    "words_to_bytes_le",
+]

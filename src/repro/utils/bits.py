@@ -1,0 +1,46 @@
+"""Bit- and word-level helpers used by the Keccak core and the hardware models.
+
+All multi-byte conversions here are little-endian, matching the Keccak
+specification's lane encoding (FIPS 202, Sec. 3.1.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+_MASK64 = (1 << 64) - 1
+
+
+def rotl64(value: int, amount: int) -> int:
+    """Rotate a 64-bit word left by ``amount`` bits.
+
+    ``amount`` may be any non-negative integer; it is reduced modulo 64.
+    """
+    amount %= 64
+    if amount == 0:
+        return value & _MASK64
+    return ((value << amount) | (value >> (64 - amount))) & _MASK64
+
+
+def bit_length_mask(bits: int) -> int:
+    """Return a mask with the low ``bits`` bits set (``bits >= 0``)."""
+    if bits < 0:
+        raise ValueError(f"bit count must be non-negative, got {bits}")
+    return (1 << bits) - 1
+
+
+def bytes_to_words_le(data: bytes) -> List[int]:
+    """Split ``data`` (length a multiple of 8) into little-endian 64-bit words."""
+    if len(data) % 8 != 0:
+        raise ValueError(f"byte string length must be a multiple of 8, got {len(data)}")
+    return [int.from_bytes(data[i : i + 8], "little") for i in range(0, len(data), 8)]
+
+
+def words_to_bytes_le(words: Sequence[int]) -> bytes:
+    """Concatenate 64-bit words into a little-endian byte string."""
+    out = bytearray()
+    for word in words:
+        if not 0 <= word <= _MASK64:
+            raise ValueError(f"word out of 64-bit range: {word:#x}")
+        out += word.to_bytes(8, "little")
+    return bytes(out)

@@ -1,0 +1,31 @@
+"""Design-space exploration across HHE-enabling ciphers (future work, Sec. VI)."""
+
+from repro.variants.model import (
+    ALL_VARIANTS,
+    HERA_LIKE,
+    MASTA_LIKE,
+    PASTA_3_SPEC,
+    PASTA_4_SPEC,
+    RUBATO_LIKE,
+    VariantSpec,
+    expected_permutations,
+    projected_cycles,
+    projected_dsps,
+    projected_lut,
+    us_per_element,
+)
+
+__all__ = [
+    "ALL_VARIANTS",
+    "HERA_LIKE",
+    "MASTA_LIKE",
+    "PASTA_3_SPEC",
+    "PASTA_4_SPEC",
+    "RUBATO_LIKE",
+    "VariantSpec",
+    "expected_permutations",
+    "projected_cycles",
+    "projected_dsps",
+    "projected_lut",
+    "us_per_element",
+]

@@ -1,0 +1,147 @@
+"""Structural models of other HHE-enabling SE schemes (paper Sec. VI).
+
+The paper's future scope: *"implement the other HHE enabling SE schemes
+and show the impact of the changes across these schemes post-hardware
+realization."* This module does the first-order version of that study:
+each scheme is described by the *structural* quantities that drive the
+accelerator's cost model — how many pseudo-random coefficients the XOF
+must deliver per block, whether fresh matrices are generated or a fixed
+MDS matrix is reused, the state size, and the multiplier demand — and is
+then pushed through the same cycle/area projections that reproduce the
+measured PASTA numbers.
+
+These are **structural approximations for design-space exploration**, not
+bit-exact implementations of MASTA/HERA/RUBATO (whose parameters follow
+their papers only at this structural level). The projection is validated
+against the PASTA-3/PASTA-4 ground truth in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+from typing import List
+
+from repro.ff.params import P17
+from repro.ff.sampling import RejectionSampler
+from repro.keccak.hw_model import OVERLAPPED_GAP_CYCLES, WORDS_PER_BATCH
+
+
+@dataclass(frozen=True)
+class VariantSpec:
+    """Structural description of an HHE-enabling stream cipher."""
+
+    name: str
+    t: int  #: keystream elements per block
+    rounds: int
+    p: int = P17
+    branches: int = 2  #: 2 for PASTA's (X_L, X_R); 1 for MASTA/HERA-style
+    fresh_matrices: bool = True  #: False when a fixed MDS matrix is reused
+    rc_vectors_per_layer: int = 1  #: per branch
+    extra_coeffs_per_block: int = 0  #: e.g. HERA's randomized key-schedule vectors
+    notes: str = ""
+
+    @property
+    def affine_layers(self) -> int:
+        return self.rounds + 1
+
+    @property
+    def state_size(self) -> int:
+        return self.branches * self.t
+
+    @property
+    def coefficients_per_block(self) -> int:
+        """Pseudo-random field elements needed from the XOF per block."""
+        per_layer = self.branches * self.rc_vectors_per_layer * self.t
+        if self.fresh_matrices:
+            per_layer += self.branches * self.t  # one matrix seed row per branch
+        return self.affine_layers * per_layer + self.extra_coeffs_per_block
+
+    @property
+    def multipliers(self) -> int:
+        """Modular multipliers instantiated (two t-wide sets when matrices
+        are generated on the fly, one otherwise)."""
+        return (2 if self.fresh_matrices else 1) * self.t
+
+
+# -- cycle projection (same arithmetic as Sec. IV-B) ---------------------------
+
+
+def expected_permutations(spec: VariantSpec) -> float:
+    """Expected Keccak permutations per block after rejection sampling."""
+    sampler = RejectionSampler(spec.p)
+    words = spec.coefficients_per_block * sampler.expected_words_per_element
+    return words / WORDS_PER_BATCH
+
+
+def projected_cycles(spec: VariantSpec) -> int:
+    """Projected block latency with the overlapped XOF core.
+
+    ``ceil(permutations) * (21 + 5) + t`` — the validated PASTA formula.
+    For fixed-matrix schemes the XOF need not pace matrix generation, but
+    the t-cycle MatMul per layer still bounds the tail the same way.
+    """
+    perms = ceil(expected_permutations(spec))
+    xof_cycles = perms * (WORDS_PER_BATCH + OVERLAPPED_GAP_CYCLES)
+    compute_floor = spec.affine_layers * spec.branches * (spec.t + 6 + ceil(log2(spec.t)))
+    return max(xof_cycles, compute_floor) + spec.t
+
+
+def projected_dsps(spec: VariantSpec) -> int:
+    from repro.hw.area import dsp_per_multiplier
+
+    return spec.multipliers * dsp_per_multiplier(spec.p.bit_length())
+
+
+def projected_lut(spec: VariantSpec) -> int:
+    """LUT projection from the Table I structural fit.
+
+    The per-t slope of the fit covers two multiplier sets, the adders, and
+    the per-element wrapper; roughly 60% of it is the multiplier arrays
+    (consistent with the Fig. 7 MatGen+MatMul+ModMul shares). Fixed-matrix
+    schemes instantiate only one set, scaling that portion down.
+    """
+    from repro.hw.area import _LUT_C1, _LUT_C2, _LUT_K
+
+    omega = spec.p.bit_length()
+    per_t = _LUT_C1 * omega + _LUT_C2 * omega * omega
+    multiplier_share = 0.6 * spec.multipliers / (2 * spec.t)
+    return round(_LUT_K + spec.t * per_t * (0.4 + multiplier_share))
+
+
+def us_per_element(spec: VariantSpec, clock_mhz: float = 75.0) -> float:
+    return projected_cycles(spec) / clock_mhz / spec.t
+
+
+# -- the variant catalogue -------------------------------------------------------
+
+PASTA_3_SPEC = VariantSpec(
+    name="PASTA-3", t=128, rounds=3, branches=2,
+    notes="ground truth: measured 5,195 cycles",
+)
+PASTA_4_SPEC = VariantSpec(
+    name="PASTA-4", t=32, rounds=4, branches=2,
+    notes="ground truth: measured 1,605 cycles",
+)
+MASTA_LIKE = VariantSpec(
+    name="MASTA-like", t=64, rounds=7, branches=1,
+    notes="single-branch state, fresh matrices each round [8] (structural)",
+)
+HERA_LIKE = VariantSpec(
+    name="HERA-like", t=16, rounds=5, branches=1, fresh_matrices=False,
+    extra_coeffs_per_block=16 * 6,
+    notes="fixed MDS matrix; randomized key schedule draws per-round vectors [10] (structural)",
+)
+RUBATO_LIKE = VariantSpec(
+    name="RUBATO-like", t=36, rounds=2, branches=1, fresh_matrices=False,
+    extra_coeffs_per_block=36 * 3 + 36,
+    notes="short/noisy variant; fixed matrix + per-block noise vector [11] (structural)",
+)
+
+ALL_VARIANTS: List[VariantSpec] = [
+    PASTA_3_SPEC,
+    PASTA_4_SPEC,
+    MASTA_LIKE,
+    HERA_LIKE,
+    RUBATO_LIKE,
+]

@@ -1,0 +1,39 @@
+"""Shared fixtures and hypothesis settings for the test suite."""
+
+import os
+import sys
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Allow running the tests from a source checkout without installation.
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    max_examples=30,
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def pasta4_key():
+    from repro.pasta import PASTA_4, random_key
+
+    return random_key(PASTA_4)
+
+
+@pytest.fixture(scope="session")
+def pasta3_key():
+    from repro.pasta import PASTA_3, random_key
+
+    return random_key(PASTA_3)
+
+
+@pytest.fixture(scope="session")
+def toy_key():
+    from repro.pasta import PASTA_TOY, random_key
+
+    return random_key(PASTA_TOY)

@@ -1,0 +1,67 @@
+"""Tests for the HHE ML-inference application."""
+
+import pytest
+
+from repro.apps.ml_inference import HheInferenceServer, LinearModel, run_inference
+from repro.errors import ParameterError
+from repro.fhe import toy_parameters
+from repro.hhe import HheClient, HheServer
+from repro.pasta import PASTA_MICRO
+
+
+@pytest.fixture(scope="module")
+def client():
+    return HheClient(
+        PASTA_MICRO, toy_parameters(PASTA_MICRO.p, n=256, log2_q=190), seed=b"ml-tests"
+    )
+
+
+class TestLinearModel:
+    def test_plain_evaluation(self):
+        model = LinearModel(weights=[2, 3], bias=10)
+        assert model.evaluate_plain([5, 7], 65537) == 2 * 5 + 3 * 7 + 10
+
+    def test_modular_wrap(self):
+        model = LinearModel(weights=[65536], bias=0)
+        assert model.evaluate_plain([65536], 65537) == (65536 * 65536) % 65537
+
+    def test_dimension_check(self):
+        with pytest.raises(ParameterError):
+            LinearModel(weights=[1, 2]).evaluate_plain([1], 65537)
+
+
+class TestInference:
+    def test_end_to_end_score(self, client):
+        model = LinearModel(weights=[3, 25], bias=500)
+        features = [42, 7]
+        score = run_inference(client, model, features, nonce=1)
+        assert score == model.evaluate_plain(features, PASTA_MICRO.p)
+
+    def test_negative_like_weights(self, client):
+        """Weights near p act as negative integers."""
+        p = PASTA_MICRO.p
+        model = LinearModel(weights=[p - 2, 1], bias=0)  # -2*x0 + x1
+        score = run_inference(client, model, [10, 100], nonce=2)
+        assert score == (-2 * 10 + 100) % p
+
+    def test_server_never_sees_plaintext(self, client):
+        """The server input is the symmetric ciphertext, not the features."""
+        model = LinearModel(weights=[1, 1], bias=0)
+        features = [111, 222]
+        sym_ct = client.cipher.encrypt_block(features, 3, 0)
+        assert [int(c) for c in sym_ct] != features
+        server = HheInferenceServer(HheServer.from_client(client), model)
+        result = server.score_block([int(c) for c in sym_ct], 3, 0)
+        assert client.scheme.decrypt(client.sk, result.encrypted_score) == (111 + 222) % PASTA_MICRO.p
+        assert result.linear_ops == 2
+
+    def test_block_size_bound(self, client):
+        model = LinearModel(weights=[1] * (PASTA_MICRO.t + 1))
+        with pytest.raises(ParameterError):
+            run_inference(client, model, [1] * (PASTA_MICRO.t + 1))
+
+    def test_model_dimension_mismatch(self, client):
+        model = LinearModel(weights=[1, 2, 3])
+        server = HheInferenceServer(HheServer.from_client(client), model)
+        with pytest.raises(ParameterError, match="expects"):
+            server.score_block([1, 2], 0, 0)

@@ -1,0 +1,143 @@
+"""Tests for pixel packing and the Fig. 8 video link-budget model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.apps import (
+    MAX_BANDWIDTH_BPS,
+    MIN_BANDWIDTH_BPS,
+    QQVGA,
+    QVGA,
+    VGA,
+    Resolution,
+    encrypt_frame,
+    fig8_rows,
+    pack_pixels,
+    pixels_per_element,
+    rise_design,
+    synthetic_frame,
+    this_work_design,
+    unpack_pixels,
+)
+from repro.errors import ParameterError
+from repro.ff import P17, P33, P54
+from repro.pasta import PASTA_4, PASTA_TOY, Pasta, random_key
+
+
+class TestPacking:
+    def test_pixels_per_element(self):
+        assert pixels_per_element(P17) == 2
+        assert pixels_per_element(P33) == 4
+        assert pixels_per_element(P54) == 6
+        assert pixels_per_element(257) == 1
+
+    def test_too_small_modulus(self):
+        with pytest.raises(ParameterError):
+            pixels_per_element(251)
+
+    def test_pack_two_pixels(self):
+        assert pack_pixels([0x12, 0x34], P17) == [0x1234]
+
+    def test_pack_odd_count(self):
+        assert pack_pixels([0x12, 0x34, 0x56], P17) == [0x1234, 0x56]
+
+    def test_unpack_roundtrip(self):
+        pixels = [0, 255, 128, 7, 99]
+        packed = pack_pixels(pixels, P17)
+        assert unpack_pixels(packed, P17, len(pixels)) == pixels
+
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=40))
+    def test_roundtrip_property(self, pixels):
+        for p in (P17, P33):
+            packed = pack_pixels(pixels, p)
+            assert unpack_pixels(packed, p, len(pixels)) == pixels
+            assert all(0 <= e < p for e in packed)
+
+    def test_invalid_pixel(self):
+        with pytest.raises(ParameterError):
+            pack_pixels([256], P17)
+
+    def test_unpack_wrong_count(self):
+        with pytest.raises(ParameterError):
+            unpack_pixels([1], P17, 5)
+
+
+class TestResolutions:
+    def test_pixel_counts(self):
+        assert QQVGA.pixels == 19_200
+        assert QVGA.pixels == 76_800
+        assert VGA.pixels == 307_200
+        assert VGA.raw_bytes == 307_200
+
+
+class TestLinkModel:
+    def test_rise_constants(self):
+        rise = rise_design()
+        assert rise.ciphertext_bytes == 1.5e6
+        assert rise.ciphertexts_per_frame(QQVGA) == 1
+        assert rise.ciphertexts_per_frame(QVGA) == 3
+        assert rise.ciphertexts_per_frame(VGA) == 12
+
+    def test_rise_qqvga_fps_near_paper_70(self):
+        """Paper: 'they can send 70 QQVGA frames per second' at 112.5 MB/s."""
+        fps = rise_design().link_fps(QQVGA, MAX_BANDWIDTH_BPS)
+        assert fps == pytest.approx(75, rel=0.01)  # 112.5/1.5; paper rounds to 70
+
+    def test_rise_vga_cannot_stream_at_min(self):
+        """Paper: '[19] cannot send a VGA frame at minimum bandwidth'."""
+        assert rise_design().link_fps(VGA, MIN_BANDWIDTH_BPS) < 1.0
+
+    def test_tw_block_bytes(self):
+        tw = this_work_design(PASTA_4, encrypt_us_per_block=15.9)
+        assert tw.ciphertext_bytes == 32 * 17 / 8  # 68 B
+        tw33 = this_work_design(PASTA_4, encrypt_us_per_block=15.9, ct_bits_per_element=33)
+        assert tw33.ciphertext_bytes == 132.0  # the paper's quoted size
+
+    def test_tw_expansion_modest(self):
+        tw = this_work_design(PASTA_4, encrypt_us_per_block=15.9)
+        assert tw.expansion_factor(QQVGA) < 1.2  # 17 bits per 16 plaintext bits
+
+    def test_tw_orders_of_magnitude_more_fps(self):
+        rise = rise_design()
+        tw = this_work_design(PASTA_4, encrypt_us_per_block=15.9)
+        for resolution in (QQVGA, QVGA, VGA):
+            assert tw.link_fps(resolution, MIN_BANDWIDTH_BPS) > 10 * rise.link_fps(
+                resolution, MIN_BANDWIDTH_BPS
+            )
+
+    def test_compute_fps(self):
+        tw = this_work_design(PASTA_4, encrypt_us_per_block=20.0)
+        blocks = QQVGA.pixels / (2 * 32)  # 2 px/elem, 32 elem/block
+        assert tw.compute_fps(QQVGA) == pytest.approx(1e6 / (blocks * 20.0))
+
+    def test_frames_per_second_is_min(self):
+        tw = this_work_design(PASTA_4, encrypt_us_per_block=1e9)  # absurdly slow
+        assert tw.frames_per_second(QQVGA, MAX_BANDWIDTH_BPS) == tw.compute_fps(QQVGA)
+
+    def test_fig8_grid_shape(self):
+        rows = fig8_rows([rise_design(), this_work_design(PASTA_4, 15.9)])
+        assert len(rows) == 2 * 3 * 2  # bandwidths x resolutions x designs
+        assert {r["resolution"] for r in rows} == {"QQVGA", "QVGA", "VGA"}
+
+
+class TestFunctionalPipeline:
+    def test_synthetic_frame_deterministic(self):
+        tiny = Resolution("tiny", 8, 4)
+        assert synthetic_frame(tiny, 1) == synthetic_frame(tiny, 1)
+        assert synthetic_frame(tiny, 1) != synthetic_frame(tiny, 2)
+        assert all(0 <= px < 256 for px in synthetic_frame(tiny, 1))
+
+    def test_encrypt_frame_roundtrip(self):
+        tiny = Resolution("tiny", 16, 8)  # 128 pixels -> 64 elements -> 2 blocks
+        cipher = Pasta(PASTA_4, random_key(PASTA_4))
+        result = encrypt_frame(cipher, tiny, nonce=7)
+        assert result.ok_roundtrip
+        assert result.n_elements == 64
+        assert result.n_blocks == 2
+        assert result.ciphertext_bytes == 2 * PASTA_4.keystream_bytes_per_block
+
+    def test_encrypt_frame_toy_params(self):
+        tiny = Resolution("tiny", 4, 2)
+        cipher = Pasta(PASTA_TOY, random_key(PASTA_TOY))
+        assert encrypt_frame(cipher, tiny, nonce=1).ok_roundtrip

@@ -1,0 +1,134 @@
+"""Tests for the fault-analysis extension: injection, key recovery, defense."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    COMPARE_CYCLES,
+    FaultDetected,
+    FaultSpec,
+    RedundantAccelerator,
+    keystream_with_fault,
+    pke_redundancy_cost,
+    recover_key_from_linearized,
+    redundancy_costs,
+    software_reference_check,
+)
+from repro.errors import ParameterError
+from repro.pasta import PASTA_4, PASTA_MICRO, PASTA_TOY, Pasta, random_key
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ParameterError):
+            FaultSpec("glitch-the-clock")
+
+    def test_valid_kinds(self):
+        for kind in ("skip-sbox", "skip-all-sboxes", "corrupt-element"):
+            FaultSpec(kind)
+
+
+class TestFaultInjection:
+    def test_no_fault_matches_reference(self, toy_key):
+        ks = keystream_with_fault(PASTA_TOY, toy_key, 1, 0, None)
+        ref = Pasta(PASTA_TOY, toy_key).keystream_block(1, 0)
+        assert np.array_equal(ks, ref)
+
+    @pytest.mark.parametrize(
+        "fault",
+        [
+            FaultSpec("skip-sbox", round_index=0),
+            FaultSpec("skip-sbox", round_index=2),  # the cube S-box round
+            FaultSpec("skip-all-sboxes"),
+            FaultSpec("corrupt-element", round_index=1, element=3, delta=7),
+        ],
+        ids=["skip-r0", "skip-cube", "skip-all", "corrupt"],
+    )
+    def test_faults_perturb_keystream(self, toy_key, fault):
+        assert software_reference_check(PASTA_TOY, toy_key, 4, 0, fault)
+
+    def test_fault_deterministic(self, toy_key):
+        fault = FaultSpec("corrupt-element", round_index=0, element=1)
+        a = keystream_with_fault(PASTA_TOY, toy_key, 2, 2, fault)
+        b = keystream_with_fault(PASTA_TOY, toy_key, 2, 2, fault)
+        assert np.array_equal(a, b)
+
+    def test_wrong_key_size(self):
+        with pytest.raises(ParameterError):
+            keystream_with_fault(PASTA_TOY, [1, 2], 0, 0)
+
+
+class TestLinearizationAttack:
+    @pytest.mark.parametrize("params", [PASTA_MICRO, PASTA_TOY], ids=lambda p: p.name)
+    def test_full_key_recovery(self, params):
+        """SASTA-style ambush: S-box bypass + two blocks = the key."""
+        key = random_key(params, seed=b"victim")
+        faulty = [
+            (9, c, keystream_with_fault(params, key, 9, c, FaultSpec("skip-all-sboxes")))
+            for c in (0, 1)
+        ]
+        recovered = recover_key_from_linearized(params, faulty)
+        assert np.array_equal(recovered, key)
+
+    def test_recovered_key_decrypts_other_traffic(self, toy_key):
+        """The attack's payoff: decrypt *un*faulted ciphertexts."""
+        cipher = Pasta(PASTA_TOY, toy_key)
+        secret = [1234, 5678, 91, 2]
+        ct = cipher.encrypt_block(secret, nonce=77, counter=0)
+
+        faulty = [
+            (9, c, keystream_with_fault(PASTA_TOY, toy_key, 9, c, FaultSpec("skip-all-sboxes")))
+            for c in (0, 1)
+        ]
+        stolen_key = recover_key_from_linearized(PASTA_TOY, faulty)
+        attacker = Pasta(PASTA_TOY, stolen_key)
+        assert [int(x) for x in attacker.decrypt_block(ct, 77, 0)] == secret
+
+    def test_insufficient_blocks_rejected(self, toy_key):
+        fk = keystream_with_fault(PASTA_TOY, toy_key, 9, 0, FaultSpec("skip-all-sboxes"))
+        with pytest.raises(ParameterError, match="two faulty blocks"):
+            recover_key_from_linearized(PASTA_TOY, [(9, 0, fk)])
+
+    def test_attack_fails_against_healthy_keystream(self, toy_key):
+        """Without the fault, the linear model recovers garbage — the S-boxes work."""
+        healthy = [
+            (9, c, Pasta(PASTA_TOY, toy_key).keystream_block(9, c)) for c in (0, 1)
+        ]
+        recovered = recover_key_from_linearized(PASTA_TOY, healthy)
+        assert not np.array_equal(recovered, toy_key)
+
+
+class TestRedundancyCountermeasure:
+    def test_clean_block_passes(self, pasta4_key):
+        red = RedundantAccelerator(PASTA_4, pasta4_key)
+        result = red.keystream_block(1, 0)
+        ref = Pasta(PASTA_4, pasta4_key).keystream_block(1, 0)
+        assert np.array_equal(result.keystream, ref)
+
+    def test_cycle_cost_doubles(self, pasta4_key):
+        red = RedundantAccelerator(PASTA_4, pasta4_key)
+        result = red.keystream_block(1, 0)
+        single = result.reports[0].total_cycles
+        assert result.total_cycles == 2 * single + COMPARE_CYCLES
+
+    def test_injected_fault_detected(self, pasta4_key):
+        red = RedundantAccelerator(PASTA_4, pasta4_key)
+        with pytest.raises(FaultDetected):
+            red.keystream_block(1, 0, inject=FaultSpec("corrupt-element", round_index=2, element=9))
+
+    def test_skip_sbox_fault_detected(self, pasta4_key):
+        red = RedundantAccelerator(PASTA_4, pasta4_key)
+        with pytest.raises(FaultDetected):
+            red.keystream_block(3, 0, inject=FaultSpec("skip-sbox", round_index=3))
+
+
+class TestCostModel:
+    def test_redundancy_factor(self):
+        cost = redundancy_costs(1_600, 1_000.0, "ASIC")
+        assert cost.overhead_factor == pytest.approx(2.0, rel=0.01)
+        assert cost.protected_us == pytest.approx((3_202) / 1_000)
+
+    def test_pke_cost(self):
+        cost = pke_redundancy_cost(20_000.0, "RISE")
+        assert cost.protected_us == 40_000.0
+        assert cost.overhead_factor == 2.0

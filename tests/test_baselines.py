@@ -1,0 +1,147 @@
+"""Tests for baselines: CPU PASTA, PKE accelerators, AES, speedup math."""
+
+import math
+
+import pytest
+
+from repro.baselines import (
+    ALOHA_HE,
+    CPU_PASTA_3,
+    CPU_PASTA_4,
+    RACE,
+    RISE,
+    Aes128,
+    ThisWorkMeasurement,
+    area_time_comparison,
+    cpu_baseline,
+    cycle_reduction_vs_cpu,
+    measure_python_reference,
+    pasta_multiplications,
+    per_element_speedup,
+    pke_client_multiplications,
+    same_data_processing_time,
+    speedup_vs_cpu,
+)
+from repro.baselines.aes import INV_SBOX, SBOX
+from repro.errors import ParameterError
+from repro.pasta import PASTA_3, PASTA_4, PASTA_TOY
+
+
+class TestCpuBaseline:
+    def test_published_cycles(self):
+        assert CPU_PASTA_3.cycles == 17_041_380
+        assert CPU_PASTA_4.cycles == 1_363_339
+
+    def test_time_at_2_2ghz(self):
+        assert CPU_PASTA_3.time_us == pytest.approx(7746, rel=0.01)
+        assert CPU_PASTA_4.time_us == pytest.approx(619.7, rel=0.01)
+
+    def test_lookup(self):
+        assert cpu_baseline(PASTA_3) is CPU_PASTA_3
+        assert cpu_baseline(PASTA_4) is CPU_PASTA_4
+        with pytest.raises(ParameterError):
+            cpu_baseline(PASTA_TOY)
+
+    def test_affine_share(self):
+        low, high = CPU_PASTA_3.affine_cycles_range()
+        assert low == round(0.54 * CPU_PASTA_3.cycles)
+        assert high == round(0.60 * CPU_PASTA_3.cycles)
+
+    def test_python_reference_measurable(self):
+        us = measure_python_reference(PASTA_TOY, blocks=2)
+        assert us > 0
+
+
+class TestPkeClients:
+    def test_per_element(self):
+        assert RISE.us_per_element == pytest.approx(4.88, rel=0.01)
+        assert RACE.us_per_element == pytest.approx(26.86, rel=0.01)
+        assert ALOHA_HE.us_per_element == pytest.approx(0.4565, rel=0.01)
+
+    def test_pke_mult_count_near_2_19(self):
+        """Sec. I-A: '~2^19 multiplications' for the PKE client."""
+        count = pke_client_multiplications()
+        assert 2**18.5 < count < 2**19.2
+
+    def test_pasta3_mult_count_is_2_18(self):
+        """Sec. I-A: 'the total multiplication cost to 2^18' for PASTA-3."""
+        assert pasta_multiplications(PASTA_3) == 1 << 18
+
+    def test_pasta_beats_pke_per_block_but_not_per_element(self):
+        """The paper's nuance: PASTA-3 encrypts a block with half the mults,
+        but 2^6 more blocks are needed for 2^12 elements -> ~32x more work."""
+        pke = pke_client_multiplications()
+        pasta = pasta_multiplications(PASTA_3)
+        assert pasta < pke
+        blocks = (1 << 12) // PASTA_3.t
+        assert blocks * pasta / pke == pytest.approx(17.5, rel=0.05)
+
+
+class TestAes:
+    def test_fips197_vector(self):
+        key = bytes(range(16))
+        pt = bytes.fromhex("00112233445566778899aabbccddeeff")
+        assert Aes128(key).encrypt_block(pt).hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+    def test_zero_vector(self):
+        ct = Aes128(bytes(16)).encrypt_block(bytes(16))
+        assert ct.hex() == "66e94bd4ef8a2c3b884cfa59ca342b2e"
+
+    def test_sbox_known_entries(self):
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x01] == 0x7C
+        assert SBOX[0x53] == 0xED
+
+    def test_sbox_bijective(self):
+        assert sorted(SBOX) == list(range(256))
+        assert all(INV_SBOX[SBOX[x]] == x for x in range(256))
+
+    def test_key_length_validated(self):
+        with pytest.raises(ValueError):
+            Aes128(b"short")
+
+    def test_block_length_validated(self):
+        with pytest.raises(ValueError):
+            Aes128(bytes(16)).encrypt_block(b"tiny")
+
+    def test_op_counts_tracked(self):
+        aes = Aes128(bytes(16))
+        aes.encrypt_block(bytes(16))
+        assert aes.ops.xors > 0
+        assert aes.ops.table_lookups == 16 * 11 - 16 * 1  # 10 SubBytes rounds... see below
+        # 10 SubBytes rounds x 16 lookups = 160 (key schedule lookups not counted here)
+
+
+class TestComparisons:
+    TW4 = ThisWorkMeasurement(params=PASTA_4, accel_cycles=1_605.0, soc_cycles=2_100.0)
+    TW3 = ThisWorkMeasurement(params=PASTA_3, accel_cycles=5_195.0, soc_cycles=8_400.0)
+
+    def test_cycle_reduction_range(self):
+        """Paper: 857-3,439x fewer cycles."""
+        assert cycle_reduction_vs_cpu(self.TW4) == pytest.approx(849, rel=0.02)
+        assert cycle_reduction_vs_cpu(self.TW3) == pytest.approx(3280, rel=0.02)
+
+    def test_wall_clock_speedup(self):
+        """Paper: 43-171x vs CPU (we are in the same range)."""
+        assert 20 < speedup_vs_cpu(self.TW4, "riscv") < 60
+        assert 80 < speedup_vs_cpu(self.TW3, "riscv") < 180
+
+    def test_97x_vs_rise(self):
+        """The headline: ~97x per element over RISE on ASIC."""
+        speedup = per_element_speedup(self.TW4, RISE, "asic")
+        assert speedup == pytest.approx(97, rel=0.05)
+
+    def test_platform_times(self):
+        assert self.TW4.fpga_us == pytest.approx(1605 / 75)
+        assert self.TW4.asic_us == pytest.approx(1.605)
+        assert self.TW4.riscv_us == pytest.approx(21.0)
+
+    def test_area_time_favors_pasta4(self):
+        result = area_time_comparison(PASTA_3, 5195, PASTA_4, 1605)
+        assert result["ratio"] > 1  # PASTA-3 has the worse area-time product
+
+    def test_equal_data_time(self):
+        """Paper: PASTA-3 ~22% less time for the same data volume."""
+        times = same_data_processing_time(self.TW3, self.TW4, elements=1 << 12)
+        ratio = times[PASTA_3.name] / times[PASTA_4.name]
+        assert 0.7 < ratio < 0.9

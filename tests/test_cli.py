@@ -1,0 +1,29 @@
+"""Tests for the ``python -m repro`` command-line entry."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "fig8" in out
+
+    def test_no_args_is_help(self, capsys):
+        assert main([]) == 0
+        assert "experiments:" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["nonsense"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_cheap_experiment(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "65,468" in out
+
+    def test_run_fig7(self, capsys):
+        assert main(["fig7"]) == 0
+        assert "MatGen" in capsys.readouterr().out

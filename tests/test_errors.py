@@ -1,0 +1,46 @@
+"""Tests for the exception hierarchy (catchability contracts)."""
+
+import pytest
+
+from repro.errors import (
+    AssemblerError,
+    NoiseBudgetExhausted,
+    ParameterError,
+    ReproError,
+    SimulationError,
+    SingularMatrixError,
+    TrapError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            AssemblerError,
+            NoiseBudgetExhausted,
+            ParameterError,
+            SimulationError,
+            SingularMatrixError,
+            TrapError,
+        ],
+    )
+    def test_all_are_repro_errors(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_trap_is_simulation_error(self):
+        """Firmware traps must be catchable as simulation failures."""
+        assert issubclass(TrapError, SimulationError)
+
+    def test_fault_detected_is_simulation_error(self):
+        from repro.attacks import FaultDetected
+
+        assert issubclass(FaultDetected, SimulationError)
+
+    def test_library_never_raises_bare_exception_for_bad_params(self):
+        from repro.ff import PrimeField
+
+        with pytest.raises(ParameterError):
+            PrimeField(10)

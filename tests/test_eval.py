@@ -1,0 +1,82 @@
+"""Tests for the experiment registry and table/figure generators."""
+
+import pytest
+
+from repro.eval import EXPERIMENTS
+from repro.eval.keccak_budget import expected_permutations, minimum_permutations
+from repro.eval.result import ExperimentResult
+from repro.pasta import PASTA_3, PASTA_4
+
+
+class TestRegistry:
+    def test_every_paper_artifact_covered(self):
+        for key in ("table1", "table2", "table3", "fig7", "fig8", "keccak_budget",
+                    "ablations", "hhe_cost"):
+            assert key in EXPERIMENTS
+
+    def test_result_helpers(self):
+        result = ExperimentResult(
+            experiment_id="X", title="T", headers=["a", "b"], rows=[[1, 2], [3, 4]]
+        )
+        assert result.column("b") == [2, 4]
+        assert "X: T" in result.render()
+        with pytest.raises(ValueError):
+            result.column("zz")
+
+
+class TestCheapGenerators:
+    def test_table1_rows(self):
+        result = EXPERIMENTS["table1"]()
+        assert len(result.rows) == 4
+        assert result.column("LUT") == [65_468, 23_736, 42_330, 67_324]
+        assert result.column("DSP") == [256, 64, 256, 576]
+
+    def test_fig7_shares(self):
+        result = EXPERIMENTS["fig7"]()
+        fpga_shares = [float(s.rstrip("%")) for s in result.column("FPGA %")]
+        assert sum(fpga_shares) == pytest.approx(100.0, abs=0.5)
+
+    def test_render_includes_notes(self):
+        result = EXPERIMENTS["table1"]()
+        text = result.render()
+        assert "DSP counts" in text
+
+
+class TestKeccakBudgetMath:
+    def test_minimum_permutations(self):
+        """Paper: 'a minimum of 31 Keccak permutation rounds' for PASTA-4."""
+        assert minimum_permutations(PASTA_4) == 31
+        assert minimum_permutations(PASTA_3) == 98
+
+    def test_expected_permutations(self):
+        assert expected_permutations(PASTA_4) == pytest.approx(61, abs=1)
+        assert expected_permutations(PASTA_3) == pytest.approx(195.6, abs=1)
+
+
+class TestMeasuredGenerators:
+    """Smoke runs with minimal nonce counts to keep the suite fast."""
+
+    def test_table2(self):
+        result = EXPERIMENTS["table2"](n_nonces=1)
+        assert len(result.rows) == 4
+        cycles = result.column("Cycles")
+        assert cycles[0] == 17_041_380  # CPU row
+        assert 4_500 < cycles[1] < 6_000  # PASTA-3 measured
+        assert 1_500 < cycles[3] < 1_800  # PASTA-4 measured
+
+    def test_table3(self):
+        result = EXPERIMENTS["table3"](n_nonces=1)
+        assert len(result.rows) == 8
+        per_elem = result.column("us/elem")
+        assert per_elem[6] < 0.1  # TW ASIC ~0.05 us/elem
+        assert any("97" in note or "9" in note for note in result.notes)
+
+    def test_fig8(self):
+        result = EXPERIMENTS["fig8"]()
+        assert len(result.rows) == 18  # 2 bandwidths x 3 resolutions x 3 designs
+        # RISE VGA at minimum bandwidth must be flagged as non-streaming.
+        flags = {
+            (row[0], row[1], row[2]): row[5]
+            for row in result.rows
+        }
+        assert flags[(12.5, "VGA", "RISE [19]")] == "NO"

@@ -1,0 +1,101 @@
+"""Tests for F_p dense matrix algebra (inverse, det, rank, companion form)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SingularMatrixError
+from repro.ff import P17, P54, PrimeField, companion_matrix, identity, is_invertible
+from repro.ff.matrix import mat_det, mat_inverse, mat_rank
+
+F17 = PrimeField(P17)
+F54 = PrimeField(P54)
+
+
+def random_matrix(field, n, seed):
+    rng = np.random.default_rng(seed)
+    return field.array(rng.integers(0, min(field.p, 1 << 31), size=n * n)).reshape(n, n)
+
+
+class TestIdentity:
+    def test_identity_is_invertible(self):
+        eye = identity(5, F17)
+        assert is_invertible(eye, F17)
+        assert mat_det(eye, F17) == 1
+        assert np.array_equal(mat_inverse(eye, F17), eye)
+
+
+class TestInverse:
+    @pytest.mark.parametrize("field", [F17, F54], ids=["p17", "p54"])
+    @pytest.mark.parametrize("n", [1, 2, 5, 8])
+    def test_inverse_roundtrip(self, field, n):
+        m = random_matrix(field, n, seed=n)
+        if not is_invertible(m, field):
+            pytest.skip("random matrix happened to be singular")
+        inv = mat_inverse(m, field)
+        assert np.array_equal(field.mat_mul(m, inv), identity(n, field))
+        assert np.array_equal(field.mat_mul(inv, m), identity(n, field))
+
+    def test_singular_raises(self):
+        m = F17.array([1, 2, 2, 4]).reshape(2, 2)
+        with pytest.raises(SingularMatrixError):
+            mat_inverse(m, F17)
+
+    def test_zero_matrix_rank(self):
+        z = F17.zeros(3, 3)
+        assert mat_rank(z, F17) == 0
+        assert mat_det(z, F17) == 0
+
+
+class TestDeterminant:
+    def test_2x2_known(self):
+        m = F17.array([3, 7, 1, 5]).reshape(2, 2)
+        assert mat_det(m, F17) == (3 * 5 - 7 * 1) % P17
+
+    @given(st.integers(min_value=0, max_value=9))
+    def test_det_multiplicative(self, seed):
+        a = random_matrix(F17, 4, seed)
+        b = random_matrix(F17, 4, seed + 100)
+        det_prod = mat_det(F17.mat_mul(a, b), F17)
+        assert det_prod == (mat_det(a, F17) * mat_det(b, F17)) % P17
+
+    def test_swap_changes_sign(self):
+        m = random_matrix(F17, 3, seed=1)
+        swapped = m.copy()
+        swapped[[0, 1]] = swapped[[1, 0]]
+        assert mat_det(swapped, F17) == (-mat_det(m, F17)) % P17
+
+
+class TestRank:
+    def test_duplicated_row(self):
+        m = random_matrix(F17, 4, seed=5)
+        m[3] = m[0]
+        assert mat_rank(m, F17) < 4
+
+    def test_full_rank_random(self):
+        m = random_matrix(F17, 6, seed=9)
+        assert mat_rank(m, F17) in (5, 6)  # almost surely 6
+
+
+class TestCompanionMatrix:
+    def test_shape_and_content(self):
+        alpha = F17.array([5, 6, 7, 8])
+        c = companion_matrix(alpha, F17)
+        assert c.shape == (4, 4)
+        assert list(c[3]) == [5, 6, 7, 8]
+        assert c[0, 1] == 1 and c[1, 2] == 1 and c[2, 3] == 1
+        assert c[0, 0] == 0
+
+    def test_row_vector_multiplication_shifts(self):
+        alpha = F17.array([2, 3, 4, 5])
+        c = companion_matrix(alpha, F17)
+        row = F17.array([10, 20, 30, 40])
+        product = F17.mat_vec(c.T, row)  # row . C == C^T . row
+        expected = [
+            (40 * 2) % P17,
+            (10 + 40 * 3) % P17,
+            (20 + 40 * 4) % P17,
+            (30 + 40 * 5) % P17,
+        ]
+        assert [int(x) for x in product] == expected

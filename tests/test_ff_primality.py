@@ -1,0 +1,94 @@
+"""Tests for deterministic primality testing and structured prime search."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ff.primality import (
+    find_fermat_like_prime,
+    find_ntt_prime,
+    find_pseudo_mersenne_prime,
+    is_prime,
+    prime_factors,
+)
+
+SMALL_PRIMES = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47}
+
+
+class TestIsPrime:
+    def test_small_values(self):
+        for n in range(50):
+            assert is_prime(n) == (n in SMALL_PRIMES), n
+
+    def test_known_large_primes(self):
+        assert is_prime(65537)
+        assert is_prime((1 << 31) - 1)  # Mersenne M31
+        assert is_prime(1_000_000_007)
+
+    def test_known_composites(self):
+        assert not is_prime(65536)
+        assert not is_prime((1 << 32) + 1)  # F5 = 641 * 6700417
+        assert not is_prime(561)  # Carmichael
+        assert not is_prime(3215031751)  # strong pseudoprime to bases 2,3,5,7
+
+    @given(st.integers(min_value=2, max_value=10_000))
+    def test_matches_trial_division(self, n):
+        trial = all(n % d for d in range(2, int(n**0.5) + 1))
+        assert is_prime(n) == trial
+
+    @given(st.integers(min_value=2, max_value=1 << 30), st.integers(min_value=2, max_value=1 << 30))
+    def test_products_are_composite(self, a, b):
+        assert not is_prime(a * b)
+
+
+class TestPrimeSearch:
+    def test_fermat_17(self):
+        assert find_fermat_like_prime(17) == 65537
+
+    def test_fermat_nonexistent(self):
+        assert find_fermat_like_prime(12) is None  # 2^11 + 1 = 2049 = 3*683
+
+    def test_pseudo_mersenne_structure(self):
+        for bits in (17, 33, 54):
+            p = find_pseudo_mersenne_prime(bits)
+            assert is_prime(p)
+            assert p.bit_length() == bits
+            c = (1 << bits) - p
+            assert 1 <= c < (1 << 20)
+
+    def test_pseudo_mersenne_smallest_c(self):
+        p = find_pseudo_mersenne_prime(33)
+        c = (1 << 33) - p
+        for smaller in range(1, c):
+            assert not is_prime((1 << 33) - smaller)
+
+    def test_ntt_prime_congruence(self):
+        p = find_ntt_prime(33, 1 << 17)
+        assert is_prime(p)
+        assert p % (1 << 17) == 1
+        assert p.bit_length() == 33
+
+    def test_ntt_prime_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            find_ntt_prime(30, 3 << 10)
+
+
+class TestPrimeFactors:
+    def test_prime(self):
+        assert prime_factors(97) == [97]
+
+    def test_composite(self):
+        assert prime_factors(360) == [2, 3, 5]
+
+    def test_one(self):
+        assert prime_factors(1) == []
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            prime_factors(0)
+
+    @given(st.integers(min_value=2, max_value=100_000))
+    def test_factors_divide(self, n):
+        for f in prime_factors(n):
+            assert n % f == 0
+            assert is_prime(f)

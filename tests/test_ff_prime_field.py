@@ -1,0 +1,144 @@
+"""Tests for PrimeField scalar and vectorized arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.ff import P17, P33, P54, PrimeField
+
+FIELDS = [PrimeField(17), PrimeField(P17), PrimeField(P33), PrimeField(P54)]
+
+
+def elements(p):
+    return st.integers(min_value=0, max_value=p - 1)
+
+
+class TestConstruction:
+    def test_rejects_composite(self):
+        with pytest.raises(ParameterError):
+            PrimeField(65536)
+
+    def test_dtype_selection(self):
+        assert PrimeField(P17).dtype is np.int64
+        assert PrimeField(P54).dtype is object
+
+    def test_equality_and_hash(self):
+        assert PrimeField(P17) == PrimeField(P17)
+        assert PrimeField(P17) != PrimeField(P33)
+        assert hash(PrimeField(P17)) == hash(PrimeField(P17))
+
+    def test_element_bytes(self):
+        assert PrimeField(P17).element_bytes() == 3
+        assert PrimeField(P54).element_bytes() == 7
+
+
+class TestScalarOps:
+    @given(elements(P17), elements(P17))
+    def test_add_sub_inverse(self, a, b):
+        f = PrimeField(P17)
+        assert f.sub(f.add(a, b), b) == a
+
+    @given(elements(P17))
+    def test_neg(self, a):
+        f = PrimeField(P17)
+        assert f.add(a, f.neg(a)) == 0
+
+    @given(elements(P54), elements(P54))
+    def test_mul_matches_bigint(self, a, b):
+        f = PrimeField(P54)
+        assert f.mul(a, b) == (a * b) % P54
+
+    @given(st.integers(min_value=1, max_value=P17 - 1))
+    def test_inverse(self, a):
+        f = PrimeField(P17)
+        assert f.mul(a, f.inv(a)) == 1
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            PrimeField(P17).inv(0)
+
+    @given(elements(P17), st.integers(min_value=0, max_value=50))
+    def test_pow(self, a, e):
+        f = PrimeField(P17)
+        assert f.pow(a, e) == pow(a, e, P17)
+
+    @given(elements(P17))
+    def test_square(self, a):
+        f = PrimeField(P17)
+        assert f.square(a) == f.mul(a, a)
+
+    def test_fermat_little_theorem(self):
+        f = PrimeField(P17)
+        for a in (1, 2, 12345, P17 - 1):
+            assert f.pow(a, P17 - 1) == 1
+
+
+class TestVectorOps:
+    @pytest.mark.parametrize("field", FIELDS, ids=lambda f: f"p{f.bits}")
+    def test_vec_roundtrip(self, field):
+        a = field.array(range(10))
+        b = field.array(range(100, 110))
+        assert np.array_equal(field.vec_sub(field.vec_add(a, b), b), a)
+
+    @pytest.mark.parametrize("field", FIELDS, ids=lambda f: f"p{f.bits}")
+    def test_vec_mul_matches_scalar(self, field):
+        vals_a = [3, field.p - 1, 12, 0, field.p // 2]
+        vals_b = [9, field.p - 2, 7, 5, field.p - 1]
+        a, b = field.array(vals_a), field.array(vals_b)
+        expected = [field.mul(x, y) for x, y in zip(vals_a, vals_b)]
+        assert list(field.vec_mul(a, b)) == expected
+
+    @pytest.mark.parametrize("field", FIELDS, ids=lambda f: f"p{f.bits}")
+    def test_mat_vec_matches_naive(self, field):
+        rng = np.random.default_rng(7)
+        m = field.array(rng.integers(0, 1 << 16, size=(9, 9)).ravel()).reshape(9, 9)
+        v = field.array(rng.integers(0, 1 << 16, size=9))
+        got = field.mat_vec(m, v)
+        expected = [
+            sum(field.mul(int(m[i, j]), int(v[j])) for j in range(9)) % field.p for i in range(9)
+        ]
+        assert [int(x) for x in got] == expected
+
+    def test_mat_vec_overflow_chunking(self):
+        # p near 2^31: single int64 dot of 128 terms would overflow.
+        p = 2_147_483_647  # Mersenne prime 2^31 - 1
+        field = PrimeField(p)
+        rng = np.random.default_rng(11)
+        m = field.array(rng.integers(0, p, size=(128, 128)).ravel()).reshape(128, 128)
+        v = field.array(rng.integers(0, p, size=128))
+        got = field.mat_vec(m, v)
+        expected = (m.astype(object) @ v.astype(object)) % p
+        assert [int(x) for x in got] == [int(x) for x in expected]
+
+    def test_dot(self):
+        f = PrimeField(P17)
+        a = f.array([1, 2, 3])
+        b = f.array([4, 5, 6])
+        assert f.dot(a, b) == 32
+
+    def test_scalar_mul(self):
+        f = PrimeField(P17)
+        a = f.array([1, 2, P17 - 1])
+        assert list(f.scalar_mul(2, a)) == [2, 4, P17 - 2]
+
+    def test_zeros_object_dtype(self):
+        f = PrimeField(P54)
+        z = f.zeros(4)
+        assert z.dtype == object and list(z) == [0, 0, 0, 0]
+
+    def test_coerce_reduces(self):
+        f = PrimeField(P17)
+        arr = f.coerce(np.array([P17, P17 + 1, -1]))
+        assert list(arr) == [0, 1, P17 - 1]
+
+    def test_mat_mul_associative_with_vector(self):
+        f = PrimeField(P17)
+        rng = np.random.default_rng(3)
+        a = f.array(rng.integers(0, P17, size=36)).reshape(6, 6)
+        b = f.array(rng.integers(0, P17, size=36)).reshape(6, 6)
+        v = f.array(rng.integers(0, P17, size=6))
+        left = f.mat_vec(f.mat_mul(a, b), v)
+        right = f.mat_vec(a, f.mat_vec(b, v))
+        assert np.array_equal(left, right)

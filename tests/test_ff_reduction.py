@@ -1,0 +1,81 @@
+"""Tests for the add-shift modular-reduction unit models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.ff import P17, P33, P54, FermatReducer, PseudoMersenneReducer, make_reducer
+
+
+class TestFermatReducer:
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ParameterError):
+            FermatReducer(P33)
+
+    def test_identity_below_p(self):
+        r = FermatReducer(P17)
+        assert r.reduce(12345) == 12345
+
+    def test_boundary(self):
+        r = FermatReducer(P17)
+        assert r.reduce(P17) == 0
+        assert r.reduce(P17 - 1) == P17 - 1
+        assert r.reduce(P17 + 1) == 1
+
+    @given(st.integers(min_value=0, max_value=(P17 - 1) ** 2))
+    def test_matches_mod(self, x):
+        assert FermatReducer(P17).reduce(x) == x % P17
+
+    def test_counts_operations(self):
+        r = FermatReducer(P17)
+        r.reduce((P17 - 1) ** 2)
+        assert r.stats.reductions == 1
+        assert r.stats.adds >= 1
+        assert r.stats.shifts == r.stats.adds
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            FermatReducer(P17).reduce(-1)
+
+
+class TestPseudoMersenneReducer:
+    def test_rejects_composite(self):
+        with pytest.raises(ParameterError):
+            PseudoMersenneReducer(65541)  # 3 * 21847
+
+    @given(st.integers(min_value=0, max_value=(P54 - 1) ** 2))
+    def test_matches_mod_54(self, x):
+        assert PseudoMersenneReducer(P54).reduce(x) == x % P54
+
+    @given(st.integers(min_value=0, max_value=(P33 - 1) ** 2))
+    def test_matches_mod_33(self, x):
+        assert PseudoMersenneReducer(P33).reduce(x) == x % P33
+
+    def test_shift_count_tracks_c_weight(self):
+        r = PseudoMersenneReducer(P54)
+        c = (1 << 54) - P54
+        weight = bin(c).count("1")
+        r.reduce((P54 - 1) ** 2)
+        assert r.stats.shifts % weight == 0
+
+
+class TestMakeReducer:
+    def test_prefers_fermat(self):
+        assert isinstance(make_reducer(P17), FermatReducer)
+
+    def test_falls_back_to_pseudo_mersenne(self):
+        assert isinstance(make_reducer(P54), PseudoMersenneReducer)
+        assert isinstance(make_reducer(P33), PseudoMersenneReducer)
+
+    @pytest.mark.parametrize("p", [P17, P33, P54])
+    def test_full_product_range_spot_checks(self, p):
+        r = make_reducer(p)
+        for x in (0, 1, p - 1, p, p + 1, (p - 1) ** 2, (p - 1) * (p - 2)):
+            assert r.reduce(x) == x % p
+
+    def test_stats_merge(self):
+        r = make_reducer(P17)
+        r.reduce(123456789)
+        merged = r.stats.merged_with(r.stats)
+        assert merged.reductions == 2 * r.stats.reductions

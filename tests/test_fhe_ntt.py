@@ -1,0 +1,114 @@
+"""Tests for the negacyclic NTT over NTT-friendly primes."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.ff import P17, P33, P60
+from repro.fhe import NegacyclicNtt, Rq
+
+
+def naive_negacyclic(a, b, q):
+    n = len(a)
+    out = [0] * n
+    for i, ai in enumerate(a):
+        for j, bj in enumerate(b):
+            k = i + j
+            if k < n:
+                out[k] = (out[k] + ai * bj) % q
+            else:
+                out[k - n] = (out[k - n] - ai * bj) % q
+    return out
+
+
+class TestConstruction:
+    def test_requires_ntt_friendly_prime(self):
+        with pytest.raises(ParameterError):
+            NegacyclicNtt(64, 65539)  # prime, but 65538 % 128 != 0
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(ParameterError):
+            NegacyclicNtt(48, P60)
+
+    def test_requires_prime(self):
+        with pytest.raises(ParameterError):
+            NegacyclicNtt(64, 1 << 33)
+
+    @pytest.mark.parametrize("q", [P17, P33, P60])
+    def test_psi_is_primitive_2n_root(self, q):
+        ntt = NegacyclicNtt(32, q)
+        assert pow(ntt.psi, 32, q) == q - 1
+        assert pow(ntt.psi, 64, q) == 1
+
+
+class TestTransforms:
+    @pytest.mark.parametrize("n", [2, 8, 64, 256])
+    def test_roundtrip(self, n):
+        random.seed(n)
+        a = [random.randrange(P60) for _ in range(n)]
+        ntt = NegacyclicNtt(n, P60)
+        assert ntt.inverse(ntt.forward(a)) == a
+
+    def test_forward_is_linear(self):
+        random.seed(1)
+        n = 32
+        ntt = NegacyclicNtt(n, P60)
+        a = [random.randrange(P60) for _ in range(n)]
+        b = [random.randrange(P60) for _ in range(n)]
+        sum_fwd = ntt.forward([(x + y) % P60 for x, y in zip(a, b)])
+        fwd_sum = [(x + y) % P60 for x, y in zip(ntt.forward(a), ntt.forward(b))]
+        assert sum_fwd == fwd_sum
+
+    def test_constant_poly_transform(self):
+        """NTT of a constant polynomial is the constant everywhere."""
+        n = 16
+        ntt = NegacyclicNtt(n, P60)
+        forward = ntt.forward([7] + [0] * (n - 1))
+        assert forward == [7] * n
+
+    def test_wrong_length_raises(self):
+        ntt = NegacyclicNtt(16, P60)
+        with pytest.raises(ParameterError):
+            ntt.forward([1] * 8)
+
+
+class TestMultiplication:
+    @pytest.mark.parametrize("n", [4, 16, 64])
+    def test_matches_naive(self, n):
+        random.seed(n + 100)
+        a = [random.randrange(P60) for _ in range(n)]
+        b = [random.randrange(P60) for _ in range(n)]
+        ntt = NegacyclicNtt(n, P60)
+        assert ntt.multiply(a, b) == naive_negacyclic(a, b, P60)
+
+    def test_matches_kronecker_ring(self):
+        random.seed(9)
+        n = 64
+        a = [random.randrange(P60) for _ in range(n)]
+        b = [random.randrange(P60) for _ in range(n)]
+        assert NegacyclicNtt(n, P60).multiply(a, b) == Rq(n, P60).mul(a, b)
+
+    def test_x_times_x_n_minus_1_wraps_negatively(self):
+        """x * x^(n-1) = x^n = -1 in the negacyclic ring."""
+        n = 8
+        ntt = NegacyclicNtt(n, P60)
+        x = [0, 1] + [0] * (n - 2)
+        xn1 = [0] * (n - 1) + [1]
+        assert ntt.multiply(x, xn1) == [P60 - 1] + [0] * (n - 1)
+
+    @given(st.integers(min_value=0, max_value=2**30))
+    def test_scalar_multiplication(self, c):
+        n = 8
+        ntt = NegacyclicNtt(n, P60)
+        a = list(range(1, n + 1))
+        const = [c % P60] + [0] * (n - 1)
+        assert ntt.multiply(a, const) == [(x * c) % P60 for x in a]
+
+
+class TestOpCount:
+    def test_paper_sec1a_count(self):
+        """N = 2^13: N/2 * log2 N = 53,248 mults/NTT (Sec. I-A arithmetic)."""
+        assert NegacyclicNtt.multiplications_per_transform(1 << 13) == 53_248

@@ -1,0 +1,104 @@
+"""Tests for Kronecker-substitution polynomial arithmetic in Z[x]/(x^N+1)."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fhe.poly import Rq, centered, convolve_signed, negacyclic_mul_exact
+
+
+def naive_convolve(a, b):
+    out = [0] * (len(a) + len(b) - 1)
+    for i, ai in enumerate(a):
+        for j, bj in enumerate(b):
+            out[i + j] += ai * bj
+    return out
+
+
+SMALL_INTS = st.integers(min_value=-(10**9), max_value=10**9)
+
+
+class TestConvolveSigned:
+    @given(st.lists(SMALL_INTS, min_size=1, max_size=16), st.lists(SMALL_INTS, min_size=1, max_size=16))
+    def test_matches_naive(self, a, b):
+        assert convolve_signed(a, b) == naive_convolve(a, b)
+
+    def test_empty(self):
+        assert convolve_signed([], [1]) == []
+
+    def test_huge_coefficients(self):
+        """Coefficients of BFV size (hundreds of bits) stay exact."""
+        random.seed(3)
+        a = [random.randrange(-(1 << 250), 1 << 250) for _ in range(8)]
+        b = [random.randrange(-(1 << 250), 1 << 250) for _ in range(8)]
+        assert convolve_signed(a, b) == naive_convolve(a, b)
+
+    def test_zero_vectors(self):
+        assert convolve_signed([0, 0], [0, 0, 0]) == [0, 0, 0, 0]
+
+
+class TestNegacyclicExact:
+    def test_wraparound_sign(self):
+        # (x) * (x^3) = x^4 = -1 in Z[x]/(x^4+1)
+        assert negacyclic_mul_exact([0, 1, 0, 0], [0, 0, 0, 1]) == [-1, 0, 0, 0]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            negacyclic_mul_exact([1, 2], [1, 2, 3])
+
+    @given(st.lists(SMALL_INTS, min_size=4, max_size=4), st.lists(SMALL_INTS, min_size=4, max_size=4))
+    def test_matches_naive_negacyclic(self, a, b):
+        linear = naive_convolve(a, b)
+        expected = [
+            linear[i] - (linear[i + 4] if i + 4 < len(linear) else 0) for i in range(4)
+        ]
+        assert negacyclic_mul_exact(a, b) == expected
+
+
+class TestRq:
+    def test_ring_validation(self):
+        with pytest.raises(ValueError):
+            Rq(3, 17)
+        with pytest.raises(ValueError):
+            Rq(4, 1)
+
+    def test_constant(self):
+        ring = Rq(4, 97)
+        assert ring.constant(100) == [3, 0, 0, 0]
+
+    def test_add_sub_neg(self):
+        ring = Rq(4, 97)
+        a, b = [1, 2, 3, 4], [96, 95, 94, 93]
+        assert ring.add(a, b) == [0, 0, 0, 0]
+        assert ring.sub(a, b) == [(x - y) % 97 for x, y in zip(a, b)]
+        assert ring.add(a, ring.neg(a)) == [0, 0, 0, 0]
+
+    def test_scalar_mul(self):
+        ring = Rq(4, 97)
+        assert ring.scalar_mul(3, [1, 2, 3, 4]) == [3, 6, 9, 12]
+
+    def test_mul_identity(self):
+        ring = Rq(8, 12289)
+        a = list(range(8))
+        one = ring.constant(1)
+        assert ring.mul(a, one) == a
+
+    def test_mul_commutative(self):
+        random.seed(4)
+        ring = Rq(16, 12289)
+        a = [random.randrange(12289) for _ in range(16)]
+        b = [random.randrange(12289) for _ in range(16)]
+        assert ring.mul(a, b) == ring.mul(b, a)
+
+    def test_centered(self):
+        assert centered([0, 1, 48, 49, 96], 97) == [0, 1, 48, -48, -1]
+
+    def test_infinity_norm(self):
+        ring = Rq(4, 97)
+        assert ring.infinity_norm([96, 1, 0, 50]) == 47  # 50 -> -47, 96 -> -1
+
+    def test_reduce_validates_length(self):
+        with pytest.raises(ValueError):
+            Rq(4, 97).reduce([1, 2, 3])

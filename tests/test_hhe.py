@@ -1,0 +1,88 @@
+"""End-to-end HHE protocol tests at reduced (micro) parameters."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.fhe import toy_parameters
+from repro.hhe import BfvBackend, HheClient, HheServer
+from repro.pasta import PASTA_MICRO, KeystreamCircuit, Pasta
+
+
+@pytest.fixture(scope="module")
+def client():
+    return HheClient(PASTA_MICRO, toy_parameters(PASTA_MICRO.p, n=256, log2_q=190), seed=b"hhe-tests")
+
+
+@pytest.fixture(scope="module")
+def server(client):
+    return HheServer.from_client(client)
+
+
+class TestClient:
+    def test_symmetric_roundtrip(self, client):
+        msg = [5, 65000, 1, 0, 17]
+        ct = client.encrypt(msg, nonce=8)
+        assert [int(x) for x in client.cipher.decrypt(ct, 8)] == msg
+
+    def test_encrypted_key_count(self, client):
+        assert len(client.encrypted_key()) == PASTA_MICRO.key_size
+
+    def test_encrypted_key_decrypts_to_key(self, client):
+        for ct, k in zip(client.encrypted_key(), client.key):
+            assert client.scheme.decrypt(client.sk, ct) == int(k)
+
+    def test_plain_modulus_must_match(self):
+        with pytest.raises(ParameterError):
+            HheClient(PASTA_MICRO, toy_parameters(12289, n=256, log2_q=190))
+
+
+class TestTranscipher:
+    def test_single_block(self, client, server):
+        msg = [123, 45678]
+        sym = client.encrypt(msg, nonce=1)
+        result = server.transcipher_block(list(sym), nonce=1, counter=0)
+        assert client.decrypt_result(result.ciphertexts) == msg
+
+    def test_multi_block_stream(self, client, server):
+        msg = [1, 2, 3, 4, 5]  # three blocks at t=2
+        sym = client.encrypt(msg, nonce=2)
+        result = server.transcipher(sym, nonce=2)
+        assert client.decrypt_result(result.ciphertexts) == msg
+
+    def test_noise_budget_positive(self, client, server):
+        sym = client.encrypt([9, 10], nonce=3)
+        result = server.transcipher_block(list(sym), nonce=3, counter=0)
+        for ct in result.ciphertexts:
+            assert client.noise_budget_bits(ct) > 5
+
+    def test_op_counts_match_circuit_cost(self, client, server):
+        sym = client.encrypt([7, 8], nonce=4)
+        result = server.transcipher_block(list(sym), nonce=4, counter=0)
+        t, layers, rounds = PASTA_MICRO.t, PASTA_MICRO.affine_layers, PASTA_MICRO.rounds
+        assert result.ops.plain_muls == layers * 2 * t * t
+        assert result.ops.squares == (rounds - 1) * (2 * t - 1) + 2 * t
+        assert result.ops.muls == 2 * t
+        assert result.ops.relins == result.ops.squares + result.ops.muls
+
+    def test_wrong_nonce_garbles(self, client, server):
+        msg = [11, 22]
+        sym = client.encrypt(msg, nonce=5)
+        result = server.transcipher_block(list(sym), nonce=6, counter=0)
+        assert client.decrypt_result(result.ciphertexts) != msg
+
+
+class TestServerConstruction:
+    def test_wrong_key_count_rejected(self, client):
+        with pytest.raises(ParameterError):
+            HheServer(PASTA_MICRO, client.scheme, client.rlk, client.encrypted_key()[:-1])
+
+
+class TestBfvBackendAgainstPlain:
+    def test_backend_keystream_matches_plain(self, client):
+        """The BFV evaluation decrypts to exactly the plain keystream."""
+        circuit = KeystreamCircuit.for_block(PASTA_MICRO, nonce=9, counter=0)
+        backend = BfvBackend(client.scheme, client.rlk)
+        enc_ks = circuit.evaluate(client.encrypted_key(), backend)
+        plain_ks = Pasta(PASTA_MICRO, client.key).keystream_block(9, 0)
+        got = [client.scheme.decrypt(client.sk, ct) for ct in enc_ks]
+        assert got == [int(v) for v in plain_ks]

@@ -1,0 +1,135 @@
+"""Tests for BFV slot batching and batched (SIMD) transciphering."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.fhe import Bfv, BfvParams
+from repro.fhe.batching import BatchEncoder
+from repro.hhe import BatchedHheServer, decrypt_batched_result, encrypt_key_batched
+from repro.pasta import PASTA_MICRO, Pasta, random_key
+
+P = PASTA_MICRO.p
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    bfv = BfvParams(n=256, q=1 << 230, p=P)
+    scheme = Bfv(bfv, seed=b"batch-tests")
+    sk, pk, rlk = scheme.keygen()
+    encoder = BatchEncoder(bfv.n, P)
+    return scheme, sk, pk, rlk, encoder
+
+
+class TestBatchEncoder:
+    def test_roundtrip(self, ctx):
+        _, _, _, _, encoder = ctx
+        values = [0, 1, 65536, 12345]
+        assert encoder.decode(encoder.encode(values))[:4] == values
+
+    def test_padding(self, ctx):
+        _, _, _, _, encoder = ctx
+        decoded = encoder.decode(encoder.encode([5]))
+        assert decoded[0] == 5
+        assert decoded[1:] == [0] * (encoder.n - 1)
+
+    def test_constant_fills_all_slots(self, ctx):
+        _, _, _, _, encoder = ctx
+        assert encoder.decode(encoder.constant(7)) == [7] * encoder.n
+
+    def test_too_many_slots(self, ctx):
+        _, _, _, _, encoder = ctx
+        with pytest.raises(ParameterError):
+            encoder.encode([1] * (encoder.n + 1))
+
+    def test_requires_batching_friendly_prime(self):
+        with pytest.raises(Exception):
+            BatchEncoder(256, 65539)  # 65538 not divisible by 512
+
+
+class TestSlotwiseHomomorphism:
+    def test_slotwise_add(self, ctx):
+        scheme, sk, pk, _, encoder = ctx
+        a = scheme.encrypt_poly(pk, encoder.encode([1, 2, 3]))
+        b = scheme.encrypt_poly(pk, encoder.encode([10, 20, 30]))
+        got = encoder.decode(scheme.decrypt_poly(sk, scheme.add(a, b)))[:3]
+        assert got == [11, 22, 33]
+
+    def test_slotwise_ct_mult(self, ctx):
+        scheme, sk, pk, rlk, encoder = ctx
+        a = scheme.encrypt_poly(pk, encoder.encode([2, 3, 65536]))
+        b = scheme.encrypt_poly(pk, encoder.encode([5, 7, 65536]))
+        got = encoder.decode(scheme.decrypt_poly(sk, scheme.multiply(a, b, rlk)))[:3]
+        assert got == [10, 21, (65536 * 65536) % P]
+
+    def test_slotwise_plain_mult(self, ctx):
+        scheme, sk, pk, _, encoder = ctx
+        ct = scheme.encrypt_poly(pk, encoder.encode([1, 2, 3, 4]))
+        out = scheme.mul_plain_poly(ct, encoder.encode([9, 9, 0, 1]))
+        got = encoder.decode(scheme.decrypt_poly(sk, out))[:4]
+        assert got == [9, 18, 0, 4]
+
+    def test_slotwise_plain_add(self, ctx):
+        scheme, sk, pk, _, encoder = ctx
+        ct = scheme.encrypt_poly(pk, encoder.encode([1, 2]))
+        out = scheme.add_plain_poly(ct, encoder.encode([100, 65536]))
+        got = encoder.decode(scheme.decrypt_poly(sk, out))[:2]
+        assert got == [101, (2 + 65536) % P]
+
+    def test_plain_poly_length_checked(self, ctx):
+        scheme, _, pk, _, encoder = ctx
+        ct = scheme.encrypt_poly(pk, encoder.encode([1]))
+        with pytest.raises(ParameterError):
+            scheme.mul_plain_poly(ct, [1, 2, 3])
+
+
+class TestBatchedTransciphering:
+    @pytest.fixture(scope="class")
+    def session(self, ctx):
+        scheme, sk, pk, rlk, encoder = ctx
+        key = random_key(PASTA_MICRO, b"batched-victim")
+        enc_key = encrypt_key_batched(scheme, pk, encoder, [int(k) for k in key])
+        server = BatchedHheServer(PASTA_MICRO, scheme, rlk, encoder, enc_key)
+        return Pasta(PASTA_MICRO, key), server, sk
+
+    def test_three_blocks_one_evaluation(self, ctx, session):
+        scheme, sk, _, _, encoder = ctx
+        cipher, server, _ = session
+        blocks = [[7, 8], [9, 10], [11, 12]]
+        cts = [cipher.encrypt_block(b, 5, c) for c, b in enumerate(blocks)]
+        result = server.transcipher_blocks([[int(x) for x in ct] for ct in cts], 5, [0, 1, 2])
+        assert decrypt_batched_result(scheme, sk, encoder, result) == blocks
+
+    def test_op_count_independent_of_batch_size(self, ctx, session):
+        """The amortization claim: B blocks cost the ops of one evaluation."""
+        scheme, sk, _, _, encoder = ctx
+        cipher, server, _ = session
+        one = server.transcipher_blocks(
+            [[int(x) for x in cipher.encrypt_block([1, 2], 6, 0)]], 6, [0]
+        )
+        two = server.transcipher_blocks(
+            [
+                [int(x) for x in cipher.encrypt_block([1, 2], 6, 0)],
+                [int(x) for x in cipher.encrypt_block([3, 4], 6, 1)],
+            ],
+            6,
+            [0, 1],
+        )
+        assert one.ops == two.ops
+
+    def test_partial_block_rejected(self, session):
+        _, server, _ = session
+        with pytest.raises(ParameterError, match="full t-element"):
+            server.transcipher_blocks([[1]], 0, [0])
+
+    def test_counter_count_mismatch(self, session):
+        _, server, _ = session
+        with pytest.raises(ParameterError, match="one counter per block"):
+            server.transcipher_blocks([[1, 2]], 0, [0, 1])
+
+    def test_noise_budget_survives(self, ctx, session):
+        scheme, sk, _, _, encoder = ctx
+        cipher, server, _ = session
+        ct = cipher.encrypt_block([5, 6], 7, 0)
+        result = server.transcipher_blocks([[int(x) for x in ct]], 7, [0])
+        for out in result.ciphertexts:
+            assert scheme.noise_budget_bits(sk, out) > 10

@@ -1,0 +1,113 @@
+"""Tests for the FPGA/ASIC area model (Table I anchors + structure)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.hw import (
+    area_time_product,
+    asic_area_mm2,
+    dsp_count,
+    dsp_per_multiplier,
+    fpga_area,
+    module_areas,
+    module_breakdown,
+)
+from repro.pasta import PASTA_3, PASTA_4, PASTA_4_33, PASTA_4_54, PastaParams
+from repro.ff.params import P33
+
+
+class TestDspModel:
+    def test_tiles_per_multiplier(self):
+        assert dsp_per_multiplier(17) == 1
+        assert dsp_per_multiplier(25) == 2  # 25x25 -> 1x2
+        assert dsp_per_multiplier(33) == 4
+        assert dsp_per_multiplier(54) == 9
+
+    def test_table1_dsp_counts_exact(self):
+        """Structural DSP model reproduces every Table I DSP figure."""
+        assert dsp_count(PASTA_3) == 256
+        assert dsp_count(PASTA_4) == 64
+        assert dsp_count(PASTA_4_33) == 256
+        assert dsp_count(PASTA_4_54) == 576
+
+
+class TestFpgaAnchors:
+    @pytest.mark.parametrize(
+        "params,lut,ff",
+        [
+            (PASTA_3, 65_468, 36_275),
+            (PASTA_4, 23_736, 11_132),
+            (PASTA_4_33, 42_330, 20_783),
+            (PASTA_4_54, 67_324, 32_711),
+        ],
+        ids=lambda v: getattr(v, "name", str(v)),
+    )
+    def test_published_rows(self, params, lut, ff):
+        area = fpga_area(params)
+        assert area.lut == lut
+        assert area.ff == ff
+        assert area.bram == 0
+
+    def test_utilization_percentages(self):
+        area = fpga_area(PASTA_3)
+        assert round(area.lut_pct) == 49
+        assert round(area.dsp_pct) == 35
+
+    def test_unpublished_config_estimated(self):
+        custom = PastaParams(name="pasta4-33b", t=64, rounds=4, p=P33, secure=False)
+        area = fpga_area(custom)
+        # Between the t=32 w=33 row and the t=128 w=17 row in magnitude.
+        assert 42_330 < area.lut < 120_000
+        assert area.dsp == 2 * 64 * 4
+
+    def test_estimate_tracks_anchor_at_anchor_point(self):
+        """The structural fit stays within 2% of the PASTA-4 anchors."""
+        from repro.hw.area import _lut_estimate
+
+        assert abs(_lut_estimate(32, 17) - 23_736) / 23_736 < 0.02
+        assert abs(_lut_estimate(32, 33) - 42_330) / 42_330 < 0.02
+        assert abs(_lut_estimate(32, 54) - 67_324) / 67_324 < 0.02
+
+
+class TestAsicModel:
+    def test_base_areas(self):
+        assert asic_area_mm2(PASTA_4, "28nm") == pytest.approx(0.24)
+        assert asic_area_mm2(PASTA_4, "7nm") == pytest.approx(0.03)
+
+    def test_bitwidth_scaling(self):
+        assert asic_area_mm2(PASTA_4_33, "28nm") / asic_area_mm2(PASTA_4, "28nm") == pytest.approx(2.1)
+        assert asic_area_mm2(PASTA_4_54, "28nm") / asic_area_mm2(PASTA_4, "28nm") == pytest.approx(4.3)
+
+    def test_pasta3_ratio(self):
+        ratio = asic_area_mm2(PASTA_3, "28nm") / asic_area_mm2(PASTA_4, "28nm")
+        assert 2.5 < ratio < 3.2  # "approximately 3x" (Sec. IV-B)
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(ParameterError):
+            asic_area_mm2(PASTA_4, "12nm")
+
+
+class TestBreakdown:
+    @pytest.mark.parametrize("platform", ["fpga", "asic"])
+    def test_shares_sum_to_100(self, platform):
+        assert sum(module_breakdown(platform).values()) == pytest.approx(100.0)
+
+    def test_matgen_dominates_fpga(self):
+        shares = module_breakdown("fpga")
+        assert max(shares, key=shares.get) == "MatGen"
+
+    def test_absolute_areas_sum_to_total(self):
+        areas = module_areas(PASTA_4, "fpga")
+        assert sum(areas.values()) == pytest.approx(fpga_area(PASTA_4).lut)
+
+    def test_invalid_platform(self):
+        with pytest.raises(ParameterError):
+            module_breakdown("gpu")
+
+
+class TestAreaTime:
+    def test_pasta4_wins(self):
+        """Sec. IV-B: PASTA-4 has the better area-time product."""
+        at3 = area_time_product(PASTA_3, 4_955)
+        at4 = area_time_product(PASTA_4, 1_591)
+        assert at4 < at3

@@ -1,0 +1,36 @@
+"""Tests for the energy model and its experiment."""
+
+import pytest
+
+from repro.hw.energy import PLATFORM_POWER_W, EnergyPoint, energy_advantage_vs_cpu, energy_table
+from repro.pasta import PASTA_4
+
+
+class TestEnergyPoints:
+    def test_energy_math(self):
+        p = EnergyPoint("x", power_w=1.2, latency_us=1.6, elements=32)
+        assert p.energy_uj_per_block == pytest.approx(1.92)
+        assert p.energy_uj_per_element == pytest.approx(0.06)
+
+    def test_table_platforms(self):
+        points = energy_table(PASTA_4, fpga_us=21.4, asic_us=1.6, riscv_us=23.0)
+        assert len(points) == 4
+        assert {p.platform for p in points} == set(PLATFORM_POWER_W)
+
+    def test_asic_beats_everything(self):
+        points = energy_table(PASTA_4, fpga_us=21.4, asic_us=1.6, riscv_us=23.0)
+        per_elem = {p.platform: p.energy_uj_per_element for p in points}
+        asic = per_elem["ASIC (7/28nm, 1 GHz)"]
+        assert all(asic <= v for v in per_elem.values())
+
+    def test_orders_of_magnitude_vs_cpu(self):
+        """Sec. I-B: 'several orders better... energy efficiency'."""
+        points = energy_table(PASTA_4, fpga_us=21.4, asic_us=1.6, riscv_us=23.0)
+        advantages = energy_advantage_vs_cpu(points)
+        assert all(v > 1_000 for v in advantages.values())
+        assert advantages["ASIC (7/28nm, 1 GHz)"] > 10_000
+
+    def test_cpu_uses_published_latency(self):
+        points = energy_table(PASTA_4, fpga_us=1, asic_us=1, riscv_us=1)
+        cpu = next(p for p in points if p.platform.startswith("CPU"))
+        assert cpu.latency_us == pytest.approx(619.7, rel=0.01)

@@ -1,0 +1,80 @@
+"""Tests for CycleReport utilities (Gantt rendering, busy accounting)."""
+
+import pytest
+
+from repro.hw.report import CycleReport, PhaseWindow
+
+
+def make_report(windows, total=100):
+    return CycleReport(
+        params_name="x",
+        t=4,
+        nonce=0,
+        counter=0,
+        core_name="overlapped",
+        total_cycles=total,
+        xof_last_word_cycle=total - 10,
+        tail_cycles=10,
+        permutations=5,
+        words_consumed=100,
+        words_rejected=50,
+        windows=windows,
+    )
+
+
+class TestBusyAccounting:
+    def test_busy_cycles(self):
+        report = make_report(
+            [PhaseWindow("A", 0, 0, 10), PhaseWindow("A", 1, 20, 25), PhaseWindow("B", 0, 5, 9)]
+        )
+        busy = report.unit_busy_cycles()
+        assert busy == {"A": 15, "B": 4}
+
+    def test_utilization(self):
+        report = make_report([PhaseWindow("A", 0, 0, 50)], total=100)
+        assert report.unit_utilization()["A"] == pytest.approx(0.5)
+
+    def test_windows_for(self):
+        report = make_report([PhaseWindow("A", 0, 0, 1), PhaseWindow("B", 0, 1, 2)])
+        assert len(report.windows_for("A")) == 1
+        assert report.windows_for("C") == []
+
+    def test_rejection_rate(self):
+        report = make_report([])
+        assert report.rejection_rate == pytest.approx(0.5)
+
+
+class TestScheduleCheck:
+    def test_overlap_detected(self):
+        report = make_report([PhaseWindow("A", 0, 0, 10), PhaseWindow("A", 1, 5, 15)])
+        ok, msg = report.schedule_ok()
+        assert not ok and "overlaps" in msg
+
+    def test_touching_windows_ok(self):
+        report = make_report([PhaseWindow("A", 0, 0, 10), PhaseWindow("A", 1, 10, 15)])
+        ok, _ = report.schedule_ok()
+        assert ok
+
+
+class TestGantt:
+    def test_empty(self):
+        assert "empty" in make_report([], total=0).render_gantt()
+
+    def test_rows_per_unit(self):
+        report = make_report(
+            [PhaseWindow("MatGen", 0, 0, 50), PhaseWindow("VecAdd", 0, 50, 60)], total=100
+        )
+        text = report.render_gantt(width=40)
+        lines = text.splitlines()
+        assert len(lines) == 3  # header + two units
+        assert lines[1].startswith("MatGen")
+        assert "#" in lines[1]
+
+    def test_real_schedule_renders(self):
+        from repro.hw import PastaAccelerator
+        from repro.pasta import PASTA_4, random_key
+
+        _, report = PastaAccelerator(PASTA_4, random_key(PASTA_4)).keystream_block(0, 0)
+        text = report.render_gantt()
+        assert "MatGen+MatMul" in text
+        assert text.count("\n") >= 6

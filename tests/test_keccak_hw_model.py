@@ -1,0 +1,81 @@
+"""Tests for the Keccak hardware cycle models (paper Sec. IV-B arithmetic)."""
+
+import itertools
+
+import pytest
+
+from repro.keccak import (
+    NaiveKeccakCore,
+    OverlappedKeccakCore,
+    shake128,
+)
+from repro.keccak.hw_model import PERMUTATION_CYCLES, WORDS_PER_BATCH
+
+
+class TestOverlappedCore:
+    def test_batch_cycles(self):
+        core = OverlappedKeccakCore(shake128(b"x"))
+        assert core.batch_cycles() == 26  # 21 + 5
+
+    def test_paper_pasta4_number(self):
+        """60 batches -> 1,560 cycles (paper: '60 * (21 + 5) = 1,560cc')."""
+        core = OverlappedKeccakCore(shake128(b"x"))
+        assert core.cycles_for_words(60 * WORDS_PER_BATCH) == 1_560
+
+    def test_paper_pasta3_number(self):
+        """186 batches -> 4,836 cycles (paper: '186 * (21+5)cc')."""
+        core = OverlappedKeccakCore(shake128(b"x"))
+        assert core.cycles_for_words(186 * WORDS_PER_BATCH) == 4_836
+
+    def test_word_cycles_monotone(self):
+        core = OverlappedKeccakCore(shake128(b"x"))
+        cycles = [core.cycle_of_word(i) for i in range(100)]
+        assert cycles == sorted(cycles)
+        assert len(set(cycles)) == 100  # one word per cycle at most
+
+    def test_gap_between_batches(self):
+        core = OverlappedKeccakCore(shake128(b"x"))
+        last_of_first = core.cycle_of_word(WORDS_PER_BATCH - 1)
+        first_of_second = core.cycle_of_word(WORDS_PER_BATCH)
+        assert first_of_second - last_of_first == 6  # 5-cycle gap + 1
+
+
+class TestNaiveCore:
+    def test_batch_cycles(self):
+        core = NaiveKeccakCore(shake128(b"x"))
+        assert core.batch_cycles() == PERMUTATION_CYCLES + WORDS_PER_BATCH == 45
+
+    def test_almost_doubles(self):
+        """Paper: 'the clock cycle almost doubles for a naive implementation'."""
+        naive = NaiveKeccakCore(shake128(b"x"))
+        fast = OverlappedKeccakCore(shake128(b"x"))
+        n = 60 * WORDS_PER_BATCH
+        ratio = naive.cycles_for_words(n) / fast.cycles_for_words(n)
+        assert 1.6 < ratio < 2.0
+
+
+class TestTimedStream:
+    def test_words_match_functional_xof(self):
+        seed = b"timed-stream"
+        reference = list(itertools.islice(shake128(seed).words(), 50))
+        core = OverlappedKeccakCore(shake128(seed))
+        timed = list(itertools.islice(core.timed_words(), 50))
+        assert [tw.word for tw in timed] == reference
+
+    def test_cycles_follow_formula(self):
+        core = OverlappedKeccakCore(shake128(b"f"))
+        timed = list(itertools.islice(core.timed_words(), 30))
+        for i, tw in enumerate(timed):
+            assert tw.cycle == core.cycle_of_word(i)
+
+    def test_permutations_performed(self):
+        core = OverlappedKeccakCore(shake128(b"p"))
+        assert core.permutations_performed == 0
+        list(itertools.islice(core.timed_words(), 1))
+        assert core.permutations_performed == 1
+        list(itertools.islice(core.timed_words(), WORDS_PER_BATCH))
+        assert core.permutations_performed == 2
+
+    def test_cycles_for_zero_words(self):
+        core = OverlappedKeccakCore(shake128(b"z"))
+        assert core.cycles_for_words(0) == 0

@@ -1,0 +1,80 @@
+"""Tests for bit-packed ciphertext serialization (the wire format of Sec. V)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.ff import P17, P33
+from repro.pasta import (
+    PASTA_4,
+    deserialize_ciphertext,
+    pack_elements,
+    serialize_ciphertext,
+    serialized_block_bytes,
+    unpack_elements,
+)
+from repro.pasta.cipher import Pasta, random_key
+
+
+class TestPackElements:
+    def test_17_bit_sizes_match_paper(self):
+        """A PASTA-4 block serializes to 68 B at 17 bits, 132 B at 33 bits."""
+        assert serialized_block_bytes(32, 17) == 68
+        assert serialized_block_bytes(32, 33) == 132
+
+    def test_single_element(self):
+        assert pack_elements([0x1FFFF], 17) == b"\xff\xff\x01"
+
+    def test_roundtrip_simple(self):
+        values = [1, 2, 65536, 0, 65535]
+        data = pack_elements(values, 17)
+        assert unpack_elements(data, 17, 5) == values
+        assert len(data) == (5 * 17 + 7) // 8
+
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 17) - 1), min_size=1, max_size=64))
+    def test_roundtrip_property_17(self, values):
+        assert unpack_elements(pack_elements(values, 17), 17, len(values)) == values
+
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 33) - 1), min_size=1, max_size=16))
+    def test_roundtrip_property_33(self, values):
+        assert unpack_elements(pack_elements(values, 33), 33, len(values)) == values
+
+    def test_value_too_large(self):
+        with pytest.raises(ParameterError):
+            pack_elements([1 << 17], 17)
+
+    def test_bad_bits(self):
+        with pytest.raises(ParameterError):
+            pack_elements([1], 0)
+        with pytest.raises(ParameterError):
+            unpack_elements(b"\x00", 65, 1)
+
+    def test_truncated_data(self):
+        with pytest.raises(ParameterError):
+            unpack_elements(b"\x01", 17, 3)
+
+
+class TestCiphertextSerialization:
+    def test_full_block_wire_size(self, pasta4_key):
+        cipher = Pasta(PASTA_4, pasta4_key)
+        ct = cipher.encrypt_block(list(range(32)), 1, 0)
+        wire = serialize_ciphertext(ct, PASTA_4.p)
+        assert len(wire) == 68  # the Fig. 8 frame-size building block
+
+    def test_serialize_deserialize_decrypt(self, pasta4_key):
+        cipher = Pasta(PASTA_4, pasta4_key)
+        msg = list(range(100, 132))
+        ct = cipher.encrypt_block(msg, 2, 0)
+        wire = serialize_ciphertext(ct, PASTA_4.p)
+        restored = deserialize_ciphertext(wire, PASTA_4.p, 32)
+        assert [int(x) for x in cipher.decrypt_block(restored, 2, 0)] == msg
+
+    def test_deserialize_validates_range(self):
+        wire = pack_elements([P17 + 1], 17)  # 65538 fits 17 bits but >= p
+        with pytest.raises(ParameterError, match="not reduced"):
+            deserialize_ciphertext(wire, P17, 1)
+
+    def test_p33_width(self):
+        wire = serialize_ciphertext([P33 - 1, 0, 5], P33)
+        assert deserialize_ciphertext(wire, P33, 3) == [P33 - 1, 0, 5]

@@ -1,0 +1,123 @@
+"""Tests for the PASTA round layers: affine, Mix, S-boxes, truncation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ff import P17, PrimeField, mat_inverse
+from repro.pasta.layers import (
+    affine,
+    cube_sbox,
+    cube_sbox_inverse,
+    feistel_sbox,
+    feistel_sbox_inverse,
+    mix,
+    truncate,
+)
+
+F = PrimeField(P17)
+
+
+def vec(seed, n=8):
+    rng = np.random.default_rng(seed)
+    return F.array(rng.integers(0, P17, size=n))
+
+
+class TestAffine:
+    def test_identity_matrix(self):
+        from repro.ff import identity
+
+        x = vec(1)
+        rc = vec(2)
+        out = affine(F, identity(8, F), x, rc)
+        assert np.array_equal(out, F.vec_add(x, rc))
+
+    def test_invertible(self):
+        rng = np.random.default_rng(3)
+        m = F.array(rng.integers(0, P17, size=64)).reshape(8, 8)
+        x = vec(4)
+        rc = vec(5)
+        y = affine(F, m, x, rc)
+        recovered = F.mat_vec(mat_inverse(m, F), F.vec_sub(y, rc))
+        assert np.array_equal(recovered, x)
+
+
+class TestMix:
+    def test_formula(self):
+        xl, xr = vec(6), vec(7)
+        left, right = mix(F, xl, xr)
+        assert np.array_equal(left, (2 * xl + xr) % P17)
+        assert np.array_equal(right, (xl + 2 * xr) % P17)
+
+    def test_invertible(self):
+        """Mix matrix [[2,1],[1,2]] has determinant 3, invertible mod p."""
+        xl, xr = vec(8), vec(9)
+        left, right = mix(F, xl, xr)
+        inv3 = F.inv(3)
+        back_l = F.scalar_mul(inv3, F.vec_sub(F.scalar_mul(2, left), right))
+        back_r = F.scalar_mul(inv3, F.vec_sub(F.scalar_mul(2, right), left))
+        assert np.array_equal(back_l, xl)
+        assert np.array_equal(back_r, xr)
+
+    @given(st.integers(min_value=0, max_value=500))
+    def test_three_addition_decomposition(self, seed):
+        """The hardware computes Mix as three adds (Sec. III-D)."""
+        xl, xr = vec(seed), vec(seed + 1000)
+        s = F.vec_add(xl, xr)
+        left, right = mix(F, xl, xr)
+        assert np.array_equal(left, F.vec_add(xl, s))
+        assert np.array_equal(right, F.vec_add(xr, s))
+
+
+class TestFeistelSbox:
+    def test_first_element_unchanged(self):
+        x = vec(10)
+        assert feistel_sbox(F, x)[0] == x[0]
+
+    def test_formula(self):
+        x = vec(11)
+        y = feistel_sbox(F, x)
+        for j in range(1, len(x)):
+            assert int(y[j]) == F.add(int(x[j]), F.square(int(x[j - 1])))
+
+    @given(st.integers(min_value=0, max_value=500))
+    def test_inverse(self, seed):
+        x = vec(seed)
+        assert np.array_equal(feistel_sbox_inverse(F, feistel_sbox(F, x)), x)
+
+    def test_not_identity(self):
+        x = F.array([1] * 8)
+        assert not np.array_equal(feistel_sbox(F, x), x)
+
+
+class TestCubeSbox:
+    def test_formula(self):
+        x = vec(12)
+        y = cube_sbox(F, x)
+        assert [int(v) for v in y] == [pow(int(v), 3, P17) for v in x]
+
+    @given(st.integers(min_value=0, max_value=500))
+    def test_inverse(self, seed):
+        x = vec(seed)
+        assert np.array_equal(cube_sbox_inverse(F, cube_sbox(F, x)), x)
+
+    def test_bijection_requirement(self):
+        """x^3 is a bijection mod p iff gcd(3, p-1) = 1; holds for 65537."""
+        from math import gcd
+
+        assert gcd(3, P17 - 1) == 1
+
+    def test_cube_root_rejects_bad_modulus(self):
+        f7 = PrimeField(7)  # gcd(3, 6) = 3
+        with pytest.raises(ValueError):
+            cube_sbox_inverse(f7, f7.array([1, 2]))
+
+
+class TestTruncate:
+    def test_returns_copy(self):
+        x = vec(13)
+        out = truncate(x)
+        assert np.array_equal(out, x)
+        out[0] = (int(out[0]) + 1) % P17
+        assert not np.array_equal(out, x)

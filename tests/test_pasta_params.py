@@ -1,0 +1,69 @@
+"""Tests for PASTA parameter sets and their derived quantities."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.pasta import (
+    ALL_PUBLISHED,
+    PASTA_3,
+    PASTA_4,
+    PASTA_4_33,
+    PASTA_4_54,
+    PASTA_MICRO,
+    PASTA_TOY,
+    PastaParams,
+)
+
+
+class TestPublishedVariants:
+    def test_pasta3_shape(self):
+        assert PASTA_3.t == 128
+        assert PASTA_3.rounds == 3
+        assert PASTA_3.state_size == 256
+        assert PASTA_3.key_size == 256
+        assert PASTA_3.modulus_bits == 17
+
+    def test_pasta4_shape(self):
+        assert PASTA_4.t == 32
+        assert PASTA_4.rounds == 4
+        assert PASTA_4.state_size == 64
+
+    def test_coefficient_budget_matches_paper(self):
+        """Sec. III-A: 'PASTA-3/-4 demand 2048/640 coefficients'."""
+        assert PASTA_3.coefficients_per_block == 2048
+        assert PASTA_4.coefficients_per_block == 640
+
+    def test_affine_layers(self):
+        assert PASTA_3.affine_layers == 4
+        assert PASTA_4.affine_layers == 5
+
+    def test_bitwidths(self):
+        assert PASTA_4_33.modulus_bits == 33
+        assert PASTA_4_54.modulus_bits == 54
+
+    def test_all_published_secure_flag(self):
+        assert all(p.secure for p in ALL_PUBLISHED)
+        assert not PASTA_TOY.secure
+        assert not PASTA_MICRO.secure
+
+    def test_keystream_bytes(self):
+        assert PASTA_4.keystream_bytes_per_block == (32 * 17 + 7) // 8  # 68
+        assert PASTA_3.keystream_bytes_per_block == 272
+
+    def test_field_and_sampler_cached(self):
+        assert PASTA_4.field is PASTA_4.field
+        assert PASTA_4.sampler is PASTA_4.sampler
+
+
+class TestValidation:
+    def test_t_too_small(self):
+        with pytest.raises(ParameterError):
+            PastaParams(name="bad", t=1, rounds=3, p=65537)
+
+    def test_rounds_too_small(self):
+        with pytest.raises(ParameterError):
+            PastaParams(name="bad", t=4, rounds=0, p=65537)
+
+    def test_composite_modulus(self):
+        with pytest.raises(ParameterError):
+            PastaParams(name="bad", t=4, rounds=3, p=65536)

@@ -1,0 +1,160 @@
+"""Tests for the RV32IM assembler: encodings, labels, pseudo-instructions."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.soc import Assembler
+from repro.soc.isa import register_number
+
+
+def words(source, base=0):
+    image = Assembler(base).assemble(source)
+    return [int.from_bytes(image[i : i + 4], "little") for i in range(0, len(image), 4)]
+
+
+class TestRegisterNames:
+    def test_abi_names(self):
+        assert register_number("zero") == 0
+        assert register_number("ra") == 1
+        assert register_number("sp") == 2
+        assert register_number("a0") == 10
+        assert register_number("t6") == 31
+        assert register_number("fp") == 8 == register_number("s0")
+
+    def test_numeric_names(self):
+        assert register_number("x0") == 0
+        assert register_number("x31") == 31
+
+    def test_invalid(self):
+        for bad in ("x32", "q1", "a8x", ""):
+            with pytest.raises(ValueError):
+                register_number(bad)
+
+
+class TestBaseEncodings:
+    """Cross-checked against riscv-spec encodings computed by hand."""
+
+    def test_addi(self):
+        assert words("addi x1, x2, 5") == [(5 << 20) | (2 << 15) | (0 << 12) | (1 << 7) | 0x13]
+
+    def test_addi_negative(self):
+        assert words("addi x1, x0, -1") == [(0xFFF << 20) | (0 << 15) | (1 << 7) | 0x13]
+
+    def test_add(self):
+        assert words("add x3, x1, x2") == [(2 << 20) | (1 << 15) | (3 << 7) | 0x33]
+
+    def test_sub(self):
+        assert words("sub x3, x1, x2") == [(0x20 << 25) | (2 << 20) | (1 << 15) | (3 << 7) | 0x33]
+
+    def test_mul(self):
+        assert words("mul x5, x6, x7") == [(1 << 25) | (7 << 20) | (6 << 15) | (5 << 7) | 0x33]
+
+    def test_lui(self):
+        assert words("lui x1, 0xFFFFF") == [(0xFFFFF << 12) | (1 << 7) | 0x37]
+
+    def test_lw_sw(self):
+        assert words("lw x1, 8(x2)") == [(8 << 20) | (2 << 15) | (2 << 12) | (1 << 7) | 0x03]
+        sw = words("sw x1, 8(x2)")[0]
+        assert sw & 0x7F == 0x23
+        assert (sw >> 7) & 0x1F == 8  # imm[4:0]
+        assert (sw >> 25) == 0  # imm[11:5]
+
+    def test_srai_vs_srli(self):
+        srli = words("srli x1, x1, 3")[0]
+        srai = words("srai x1, x1, 3")[0]
+        assert srai - srli == 0x20 << 25
+
+    def test_jal_offset(self):
+        # jal x0, +8
+        w = words("j skip\nnop\nskip: nop")[0]
+        assert w & 0x7F == 0x6F
+        assert (w >> 7) & 0x1F == 0  # rd = x0
+
+    def test_branch_backward(self):
+        source = "loop: addi x1, x1, -1\nbnez x1, loop\n"
+        w = words(source)[1]
+        assert w & 0x7F == 0x63
+        # negative offset -> sign bit set
+        assert w >> 31 == 1
+
+
+class TestPseudoInstructions:
+    def test_nop(self):
+        assert words("nop") == [0x13]
+
+    def test_mv(self):
+        assert words("mv x1, x2") == words("addi x1, x2, 0")
+
+    def test_li_small(self):
+        ws = words("li a0, 42")
+        assert len(ws) == 2  # lui + addi (deterministic layout)
+
+    def test_li_roundtrip_values(self):
+        """li must load exact 32-bit values (checked by executing)."""
+        from repro.soc import Bus, Ram, Rv32Cpu
+
+        for value in (0, 1, -1, 0x7FFFFFFF, 0x80000000, 0x800, 0xFFFFF000, 123456789):
+            src = f"li a0, {value}\necall"
+            bus = Bus()
+            ram = Ram(0, 4096)
+            bus.attach(ram)
+            ram.load(0, Assembler().assemble(src))
+            cpu = Rv32Cpu(bus)
+            cpu.run()
+            assert cpu.regs[10] == value & 0xFFFFFFFF, value
+
+    def test_la_resolves_label(self):
+        src = "la t0, data\necall\ndata: .word 99"
+        asm = Assembler()
+        syms = asm.symbols(src)
+        assert syms["data"] == 12  # 2 words for la + 1 for ecall
+
+    def test_ret(self):
+        w = words("ret")[0]
+        assert w & 0x7F == 0x67
+        assert (w >> 15) & 0x1F == 1  # rs1 = ra
+
+
+class TestDirectives:
+    def test_word(self):
+        assert words(".word 1, 2, 0xFFFFFFFF") == [1, 2, 0xFFFFFFFF]
+
+    def test_zero(self):
+        assert words(".zero 8") == [0, 0]
+
+    def test_labels_with_data(self):
+        syms = Assembler().symbols("a: .word 1\nb: .word 2, 3\nc: nop")
+        assert syms == {"a": 0, "b": 4, "c": 12}
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            Assembler().assemble("frobnicate x1, x2")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError, match="duplicate label"):
+            Assembler().assemble("a: nop\na: nop")
+
+    def test_bad_operand(self):
+        with pytest.raises(AssemblerError):
+            Assembler().assemble("addi x1, x2")
+
+    def test_immediate_out_of_range(self):
+        with pytest.raises(AssemblerError):
+            Assembler().assemble("addi x1, x2, 5000")
+
+    def test_bad_shift_amount(self):
+        with pytest.raises(AssemblerError):
+            Assembler().assemble("slli x1, x2, 32")
+
+    def test_load_needs_offset_syntax(self):
+        with pytest.raises(AssemblerError, match="offset"):
+            Assembler().assemble("lw x1, x2")
+
+    def test_unsupported_directive(self):
+        with pytest.raises(AssemblerError, match="directive"):
+            Assembler().assemble(".ascii \"hi\"")
+
+    def test_comments_ignored(self):
+        assert words("nop # comment\nnop // another") == [0x13, 0x13]

@@ -1,0 +1,153 @@
+"""Tests for the bus/RAM fabric and the PASTA peripheral register model."""
+
+import pytest
+
+from repro.errors import ParameterError, SimulationError, TrapError
+from repro.pasta import PASTA_4, PASTA_4_54, PASTA_TOY, Pasta, random_key
+from repro.soc import Bus, PastaPeripheral, Ram
+from repro.soc import peripheral as P
+
+
+def make_platform(params=PASTA_TOY):
+    bus = Bus()
+    ram = Ram(0, 65536)
+    bus.attach(ram)
+    periph = PastaPeripheral(0x4000_0000, params, ram)
+    bus.attach(periph)
+    return bus, ram, periph
+
+
+class TestBus:
+    def test_ram_word_roundtrip(self):
+        bus, _, _ = make_platform()
+        bus.write32(0x100, 0xCAFEBABE)
+        assert bus.read32(0x100) == 0xCAFEBABE
+
+    def test_subword_access(self):
+        bus, _, _ = make_platform()
+        bus.write32(0x100, 0x04030201)
+        assert bus.read8(0x100) == 1
+        assert bus.read8(0x103) == 4
+        assert bus.read16(0x102) == 0x0403
+
+    def test_unmapped_address_traps(self):
+        bus, _, _ = make_platform()
+        with pytest.raises(TrapError, match="no device"):
+            bus.read32(0x9000_0000)
+
+    def test_subword_to_peripheral_traps(self):
+        bus, _, _ = make_platform()
+        with pytest.raises(TrapError, match="non-RAM"):
+            bus.read8(0x4000_0000)
+
+    def test_overlapping_devices_rejected(self):
+        bus = Bus()
+        bus.attach(Ram(0, 4096))
+        with pytest.raises(SimulationError, match="overlaps"):
+            bus.attach(Ram(2048, 4096, name="ram2"))
+
+    def test_misaligned_word_traps(self):
+        bus, _, _ = make_platform()
+        with pytest.raises(TrapError, match="misaligned"):
+            bus.write32(0x101, 1)
+
+
+class TestPeripheralConfig:
+    def test_key_loading(self, toy_key):
+        bus, _, periph = make_platform()
+        bus.write32(0x4000_0000 + P.CTRL, 2)  # reset key index
+        for k in toy_key:
+            bus.write32(0x4000_0000 + P.KEY_PUSH, int(k))
+        assert len(periph._key) == PASTA_TOY.key_size
+
+    def test_key_overflow_rejected(self, toy_key):
+        bus, _, _ = make_platform()
+        for k in toy_key:
+            bus.write32(0x4000_0000 + P.KEY_PUSH, int(k))
+        with pytest.raises(SimulationError, match="overflow"):
+            bus.write32(0x4000_0000 + P.KEY_PUSH, 1)
+
+    def test_unreduced_key_rejected(self):
+        bus, _, _ = make_platform()
+        with pytest.raises(SimulationError, match="not reduced"):
+            bus.write32(0x4000_0000 + P.KEY_PUSH, PASTA_TOY.p)
+
+    def test_nelems_bound(self):
+        bus, _, _ = make_platform()
+        with pytest.raises(SimulationError, match="exceeds t"):
+            bus.write32(0x4000_0000 + P.NELEMS, PASTA_TOY.t + 1)
+
+    def test_status_idle(self):
+        bus, _, _ = make_platform()
+        assert bus.read32(0x4000_0000 + P.STATUS) == 0
+
+    def test_wide_modulus_rejected(self):
+        bus = Bus()
+        ram = Ram(0, 4096)
+        with pytest.raises(ParameterError, match="2\\^32"):
+            PastaPeripheral(0x4000_0000, PASTA_4_54, ram)
+
+    def test_start_without_key_fails(self):
+        bus, ram, _ = make_platform()
+        bus.write32(0x4000_0000 + P.NELEMS, 2)
+        with pytest.raises(SimulationError, match="key not fully loaded"):
+            bus.write32(0x4000_0000 + P.CTRL, 1)
+
+    def test_unmapped_offset(self):
+        bus, _, _ = make_platform()
+        with pytest.raises(SimulationError, match="unmapped"):
+            bus.read32(0x4000_0000 + 0x3C)
+
+
+class TestPeripheralBlock:
+    def _run_block(self, message, nonce=9, counter=1):
+        bus, ram, periph = make_platform()
+        key = random_key(PASTA_TOY)
+        base = 0x4000_0000
+        for k in key:
+            bus.write32(base + P.KEY_PUSH, int(k))
+        for i, m in enumerate(message):
+            ram.write32(0x1000 + 4 * i, m)
+        bus.write32(base + P.NONCE_LO, nonce)
+        bus.write32(base + P.CTR_LO, counter)
+        bus.write32(base + P.SRC_ADDR, 0x1000)
+        bus.write32(base + P.NELEMS, len(message))
+        bus.write32(base + P.CTRL, 1)
+        return bus, periph, key
+
+    def test_matches_reference_cipher(self):
+        message = [5, 6, 7, 8]
+        bus, periph, key = self._run_block(message)
+        expected = Pasta(PASTA_TOY, key).encrypt_block(message, 9, 1)
+        # advance time past the busy window, then read the OUT window
+        bus.tick(10_000_000)
+        got = [bus.read32(0x4000_0000 + P.OUT_WINDOW + 4 * i) for i in range(4)]
+        assert got == [int(c) for c in expected]
+
+    def test_busy_while_processing(self):
+        bus, periph, _ = self._run_block([1, 2, 3, 4])
+        assert bus.read32(0x4000_0000 + P.STATUS) == 1  # time has not advanced
+        with pytest.raises(SimulationError, match="busy"):
+            bus.write32(0x4000_0000 + P.NELEMS, 2)
+        with pytest.raises(SimulationError, match="serially"):
+            bus.write32(0x4000_0000 + P.CTRL, 1)
+
+    def test_out_read_while_busy_fails(self):
+        bus, _, _ = self._run_block([1, 2, 3, 4])
+        with pytest.raises(SimulationError, match="busy"):
+            bus.read32(0x4000_0000 + P.OUT_WINDOW)
+
+    def test_block_cycles_register(self):
+        bus, periph, _ = self._run_block([1, 2, 3, 4])
+        bus.tick(10_000_000)
+        cycles = bus.read32(0x4000_0000 + P.BLOCK_CYCLES)
+        assert cycles == periph.reports[0].total_cycles > 0
+
+    def test_busy_duration_includes_overhead(self):
+        bus, periph, _ = self._run_block([1, 2, 3, 4])
+        accel = periph.reports[0].total_cycles
+        assert periph._busy_until == P.START_OVERHEAD + 4 + accel
+
+    def test_unreduced_plaintext_rejected(self):
+        with pytest.raises(SimulationError, match="not reduced"):
+            self._run_block([PASTA_TOY.p])

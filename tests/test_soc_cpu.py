@@ -1,0 +1,195 @@
+"""Tests for the RV32IM core: programs exercising every instruction class."""
+
+import pytest
+
+from repro.errors import TrapError
+from repro.soc import Assembler, Bus, Ram, Rv32Cpu
+
+
+def run(source, ram_size=65536, max_instructions=1_000_000):
+    bus = Bus()
+    ram = Ram(0, ram_size)
+    bus.attach(ram)
+    ram.load(0, Assembler().assemble(source))
+    cpu = Rv32Cpu(bus)
+    cpu.run(max_instructions=max_instructions)
+    return cpu, ram
+
+
+class TestArithmetic:
+    def test_sum_loop(self):
+        cpu, _ = run("li a0, 0\nli a1, 100\nloop:\nadd a0, a0, a1\naddi a1, a1, -1\nbnez a1, loop\necall")
+        assert cpu.regs[10] == sum(range(1, 101))
+
+    def test_logic_ops(self):
+        cpu, _ = run(
+            "li a0, 0xF0F0\nli a1, 0x0FF0\nand a2, a0, a1\nor a3, a0, a1\nxor a4, a0, a1\necall"
+        )
+        assert cpu.regs[12] == 0xF0F0 & 0x0FF0
+        assert cpu.regs[13] == 0xF0F0 | 0x0FF0
+        assert cpu.regs[14] == 0xF0F0 ^ 0x0FF0
+
+    def test_shifts(self):
+        cpu, _ = run(
+            "li a0, -8\nsrai a1, a0, 1\nsrli a2, a0, 1\nslli a3, a0, 1\n"
+            "li a4, 3\nsra a5, a0, a4\nsrl a6, a0, a4\nsll a7, a0, a4\necall"
+        )
+        assert cpu.regs[11] == (-4) & 0xFFFFFFFF
+        assert cpu.regs[12] == ((-8) & 0xFFFFFFFF) >> 1
+        assert cpu.regs[13] == ((-16) & 0xFFFFFFFF)
+        assert cpu.regs[14] == 3
+        assert cpu.regs[15] == (-1) & 0xFFFFFFFF
+        assert cpu.regs[16] == ((-8) & 0xFFFFFFFF) >> 3
+        assert cpu.regs[17] == ((-64) & 0xFFFFFFFF)
+
+    def test_slt_family(self):
+        cpu, _ = run(
+            "li a0, -1\nli a1, 1\nslt a2, a0, a1\nsltu a3, a0, a1\n"
+            "slti a4, a0, 0\nsltiu a5, a0, 0\necall"
+        )
+        assert cpu.regs[12] == 1  # -1 < 1 signed
+        assert cpu.regs[13] == 0  # 0xFFFFFFFF > 1 unsigned
+        assert cpu.regs[14] == 1
+        assert cpu.regs[15] == 0
+
+    def test_x0_hardwired(self):
+        cpu, _ = run("li a0, 7\nadd x0, a0, a0\nadd a1, x0, x0\necall")
+        assert cpu.regs[0] == 0
+        assert cpu.regs[11] == 0
+
+    def test_lui_auipc(self):
+        cpu, _ = run("lui a0, 0x12345\nauipc a1, 0\necall")
+        assert cpu.regs[10] == 0x12345000
+        assert cpu.regs[11] == 4  # pc of auipc
+
+
+class TestMExtension:
+    def test_mul(self):
+        cpu, _ = run("li a0, 100000\nli a1, 70000\nmul a2, a0, a1\necall")
+        assert cpu.regs[12] == (100000 * 70000) & 0xFFFFFFFF
+
+    def test_mulh_signed(self):
+        cpu, _ = run("li a0, -2\nli a1, 0x40000000\nmulh a2, a0, a1\necall")
+        assert cpu.regs[12] == ((-2 * 0x40000000) >> 32) & 0xFFFFFFFF
+
+    def test_mulhu(self):
+        cpu, _ = run("li a0, 0xFFFFFFFF\nli a1, 0xFFFFFFFF\nmulhu a2, a0, a1\necall")
+        assert cpu.regs[12] == (0xFFFFFFFF * 0xFFFFFFFF) >> 32
+
+    def test_div_rounds_toward_zero(self):
+        cpu, _ = run("li a0, -7\nli a1, 2\ndiv a2, a0, a1\nrem a3, a0, a1\necall")
+        assert cpu.regs[12] == (-3) & 0xFFFFFFFF  # C-style truncation
+        assert cpu.regs[13] == (-1) & 0xFFFFFFFF
+
+    def test_divu_remu(self):
+        cpu, _ = run("li a0, 7\nli a1, 2\ndivu a2, a0, a1\nremu a3, a0, a1\necall")
+        assert cpu.regs[12] == 3 and cpu.regs[13] == 1
+
+    def test_div_by_zero(self):
+        """RISC-V defines division by zero (no trap): quotient all-ones."""
+        cpu, _ = run("li a0, 5\nli a1, 0\ndiv a2, a0, a1\nrem a3, a0, a1\ndivu a4, a0, a1\necall")
+        assert cpu.regs[12] == 0xFFFFFFFF
+        assert cpu.regs[13] == 5
+        assert cpu.regs[14] == 0xFFFFFFFF
+
+    def test_div_overflow(self):
+        cpu, _ = run("li a0, 0x80000000\nli a1, -1\ndiv a2, a0, a1\nrem a3, a0, a1\necall")
+        assert cpu.regs[12] == 0x80000000
+        assert cpu.regs[13] == 0
+
+    def test_mul_slower_than_add(self):
+        cpu_add, _ = run("add a0, a1, a2\necall")
+        cpu_mul, _ = run("mul a0, a1, a2\necall")
+        assert cpu_mul.stats.cycles > cpu_add.stats.cycles
+
+
+class TestMemory:
+    def test_word_store_load(self):
+        cpu, ram = run("li a0, 0xDEAD\nla a1, buf\nsw a0, 0(a1)\nlw a2, 0(a1)\necall\nbuf: .word 0")
+        assert cpu.regs[12] == 0xDEAD
+
+    def test_byte_sign_extension(self):
+        cpu, _ = run(
+            "li a0, 0x80\nla a1, buf\nsb a0, 0(a1)\nlb a2, 0(a1)\nlbu a3, 0(a1)\necall\nbuf: .word 0"
+        )
+        assert cpu.regs[12] == 0xFFFFFF80
+        assert cpu.regs[13] == 0x80
+
+    def test_half_sign_extension(self):
+        cpu, _ = run(
+            "li a0, 0x8000\nla a1, buf\nsh a0, 0(a1)\nlh a2, 0(a1)\nlhu a3, 0(a1)\necall\nbuf: .word 0"
+        )
+        assert cpu.regs[12] == 0xFFFF8000
+        assert cpu.regs[13] == 0x8000
+
+    def test_negative_offset(self):
+        cpu, _ = run(
+            "la a1, buf\naddi a1, a1, 8\nli a0, 55\nsw a0, -8(a1)\nlw a2, -8(a1)\necall\nbuf: .word 0, 0, 0"
+        )
+        assert cpu.regs[12] == 55
+
+    def test_misaligned_load_traps(self):
+        with pytest.raises(TrapError, match="misaligned"):
+            run("li a1, 2\nlw a0, 0(a1)\necall")
+
+
+class TestControlFlow:
+    def test_call_ret(self):
+        cpu, _ = run(
+            "li a0, 5\ncall double\necall\n"
+            "double:\nadd a0, a0, a0\nret"
+        )
+        assert cpu.regs[10] == 10
+
+    def test_branch_variants(self):
+        cpu, _ = run(
+            "li a0, 0\nli a1, -3\nli a2, 3\n"
+            "blt a1, a2, l1\naddi a0, a0, 1\n"
+            "l1: bltu a1, a2, l2\naddi a0, a0, 2\n"  # unsigned: big > 3, not taken
+            "l2: bge a2, a1, l3\naddi a0, a0, 4\n"
+            "l3: bgeu a1, a2, l4\naddi a0, a0, 8\n"
+            "l4: beq a1, a1, l5\naddi a0, a0, 16\n"
+            "l5: bne a1, a2, done\naddi a0, a0, 32\n"
+            "done: ecall"
+        )
+        assert cpu.regs[10] == 2  # only the bltu fall-through executed
+
+    def test_jalr_indirect(self):
+        cpu, _ = run("la t0, target\njalr ra, t0, 0\necall\ntarget: li a0, 77\necall")
+        assert cpu.regs[10] == 77
+
+    def test_taken_branch_costs_more(self):
+        taken, _ = run("li a0, 1\nbnez a0, skip\nskip: ecall")
+        untaken, _ = run("li a0, 0\nbnez a0, skip\nskip: ecall")
+        assert taken.stats.cycles > untaken.stats.cycles
+        assert taken.stats.branches_taken == 1
+        assert untaken.stats.branches_taken == 0
+
+
+class TestTrapsAndStats:
+    def test_illegal_instruction(self):
+        bus = Bus()
+        ram = Ram(0, 4096)
+        bus.attach(ram)
+        ram.write32(0, 0xFFFFFFFF)
+        with pytest.raises(TrapError, match="illegal"):
+            Rv32Cpu(bus).run()
+
+    def test_ebreak_traps(self):
+        with pytest.raises(TrapError, match="ebreak"):
+            run("ebreak")
+
+    def test_instruction_budget(self):
+        with pytest.raises(TrapError, match="budget"):
+            run("loop: j loop", max_instructions=100)
+
+    def test_stats_accounting(self):
+        cpu, _ = run("li a0, 1\nla a1, buf\nsw a0, 0(a1)\nlw a2, 0(a1)\necall\nbuf: .word 0")
+        assert cpu.stats.loads == 1
+        assert cpu.stats.stores == 1
+        assert cpu.stats.instructions == 7  # li(2) + la(2) + sw + lw + ecall
+        assert cpu.stats.cycles >= cpu.stats.instructions
+
+    def test_fence_is_nop(self):
+        cpu, _ = run("fence\nli a0, 3\necall")
+        assert cpu.regs[10] == 3

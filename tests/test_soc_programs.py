@@ -1,0 +1,54 @@
+"""Tests for the generated driver firmware (source-level properties)."""
+
+import pytest
+
+from repro.pasta import PASTA_3, PASTA_4
+from repro.soc import Assembler, DEFAULT_LAYOUT, MemoryLayout, build_driver
+from repro.soc import peripheral as P
+
+
+class TestBuildDriver:
+    def test_assembles_cleanly(self):
+        for params in (PASTA_4, PASTA_3):
+            source = build_driver(params, nonce=7, n_blocks=3, n_elements_last=5)
+            image = Assembler().assemble(source)
+            assert len(image) % 4 == 0
+            assert len(image) > 100
+
+    def test_key_loop_count(self):
+        source = build_driver(PASTA_4, nonce=0, n_blocks=1, n_elements_last=32)
+        assert f"li   t2, {PASTA_4.key_size}" in source
+
+    def test_nonce_split_into_words(self):
+        nonce = (0xDEAD << 32) | 0xBEEF
+        source = build_driver(PASTA_4, nonce=nonce, n_blocks=1, n_elements_last=1)
+        assert f"li   t0, {0xBEEF}" in source
+        assert f"li   t0, {0xDEAD}" in source
+
+    def test_register_offsets_come_from_peripheral_map(self):
+        source = build_driver(PASTA_4, nonce=0, n_blocks=1, n_elements_last=32)
+        assert f"{P.KEY_PUSH}(s0)" in source
+        assert f"{P.STATUS}(s0)" in source
+        assert f"{P.OUT_WINDOW}" in source
+
+    def test_last_block_element_count(self):
+        source = build_driver(PASTA_4, nonce=0, n_blocks=2, n_elements_last=9)
+        assert "li   t0, 9" in source
+
+    def test_invalid_last_block(self):
+        with pytest.raises(ValueError):
+            build_driver(PASTA_4, nonce=0, n_blocks=1, n_elements_last=0)
+        with pytest.raises(ValueError):
+            build_driver(PASTA_4, nonce=0, n_blocks=1, n_elements_last=33)
+
+    def test_custom_layout_used(self):
+        layout = MemoryLayout(periph_base=0x5000_0000, key_base=0x100, src_base=0x200, dst_base=0x300)
+        source = build_driver(PASTA_4, nonce=0, n_blocks=1, n_elements_last=1, layout=layout)
+        assert str(0x5000_0000) in source
+        assert "li   t1, 256" in source  # key base
+
+    def test_default_layout_regions_disjoint(self):
+        layout = DEFAULT_LAYOUT
+        regions = sorted([layout.code_base, layout.key_base, layout.src_base, layout.dst_base])
+        assert len(set(regions)) == 4
+        assert all(b - a >= 0x1000 for a, b in zip(regions, regions[1:]))

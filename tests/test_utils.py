@@ -1,0 +1,88 @@
+"""Unit tests for repro.utils (bit helpers and table rendering)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bits import bit_length_mask, bytes_to_words_le, rotl64, words_to_bytes_le
+from repro.utils.tables import format_table
+
+U64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestRotl64:
+    def test_zero_amount_is_identity(self):
+        assert rotl64(0x0123456789ABCDEF, 0) == 0x0123456789ABCDEF
+
+    def test_full_rotation_is_identity(self):
+        assert rotl64(0xDEADBEEF, 64) == 0xDEADBEEF
+
+    def test_single_bit(self):
+        assert rotl64(1, 1) == 2
+        assert rotl64(1 << 63, 1) == 1
+
+    def test_known_value(self):
+        assert rotl64(0x8000000000000001, 4) == 0x0000000000000018
+
+    @given(U64, st.integers(min_value=0, max_value=200))
+    def test_inverse_rotation(self, value, amount):
+        assert rotl64(rotl64(value, amount), 64 - (amount % 64)) == value
+
+    @given(U64, st.integers(min_value=0, max_value=63))
+    def test_preserves_popcount(self, value, amount):
+        assert bin(rotl64(value, amount)).count("1") == bin(value).count("1")
+
+
+class TestBitLengthMask:
+    def test_zero(self):
+        assert bit_length_mask(0) == 0
+
+    def test_17_bits(self):
+        assert bit_length_mask(17) == 0x1FFFF
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            bit_length_mask(-1)
+
+
+class TestWordConversion:
+    def test_roundtrip_simple(self):
+        words = [1, 2, (1 << 64) - 1]
+        assert bytes_to_words_le(words_to_bytes_le(words)) == words
+
+    def test_little_endian_order(self):
+        assert bytes_to_words_le(b"\x01" + b"\x00" * 7) == [1]
+
+    def test_bad_length_raises(self):
+        with pytest.raises(ValueError):
+            bytes_to_words_le(b"\x00" * 7)
+
+    def test_word_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            words_to_bytes_le([1 << 64])
+
+    @given(st.lists(U64, max_size=20))
+    def test_roundtrip_property(self, words):
+        assert bytes_to_words_le(words_to_bytes_le(words)) == words
+
+
+class TestFormatTable:
+    def test_basic_shape(self):
+        text = format_table(["a", "bb"], [[1, 2], [333, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "333" in text
+        # all body lines share the same width
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_float_rendering_trims_zeros(self):
+        text = format_table(["x"], [[1.5000]])
+        assert "1.5 " in text or "| 1.5" in text
+
+    def test_int_thousands_separator(self):
+        assert "65,468" in format_table(["x"], [[65468]])

@@ -1,0 +1,76 @@
+"""Tests for the cross-scheme design-space exploration (future work)."""
+
+import pytest
+
+from repro.pasta import PASTA_3, PASTA_4
+from repro.variants import (
+    ALL_VARIANTS,
+    HERA_LIKE,
+    MASTA_LIKE,
+    PASTA_3_SPEC,
+    PASTA_4_SPEC,
+    RUBATO_LIKE,
+    VariantSpec,
+    expected_permutations,
+    projected_cycles,
+    projected_dsps,
+    projected_lut,
+    us_per_element,
+)
+
+
+class TestSpecs:
+    def test_pasta_specs_match_params(self):
+        assert PASTA_3_SPEC.coefficients_per_block == PASTA_3.coefficients_per_block
+        assert PASTA_4_SPEC.coefficients_per_block == PASTA_4.coefficients_per_block
+        assert PASTA_4_SPEC.state_size == PASTA_4.state_size
+
+    def test_fixed_matrix_saves_coefficients(self):
+        fresh = VariantSpec(name="a", t=16, rounds=5, branches=1)
+        fixed = VariantSpec(name="b", t=16, rounds=5, branches=1, fresh_matrices=False)
+        assert fixed.coefficients_per_block < fresh.coefficients_per_block
+
+    def test_multiplier_demand(self):
+        assert PASTA_4_SPEC.multipliers == 64
+        assert HERA_LIKE.multipliers == 16  # single set with a fixed matrix
+
+
+class TestProjectionValidation:
+    """The projection must reproduce the measured PASTA ground truth."""
+
+    def test_pasta4_cycles(self):
+        from repro.eval.table2 import measure_accel_cycles
+
+        measured = measure_accel_cycles(PASTA_4, n_nonces=2)
+        assert abs(projected_cycles(PASTA_4_SPEC) - measured) / measured < 0.03
+
+    def test_pasta3_cycles(self):
+        from repro.eval.table2 import measure_accel_cycles
+
+        measured = measure_accel_cycles(PASTA_3, n_nonces=1)
+        assert abs(projected_cycles(PASTA_3_SPEC) - measured) / measured < 0.03
+
+    def test_pasta4_dsp_and_lut(self):
+        assert projected_dsps(PASTA_4_SPEC) == 64
+        assert abs(projected_lut(PASTA_4_SPEC) - 23_736) / 23_736 < 0.02
+
+
+class TestCrossSchemeFindings:
+    def test_fixed_matrix_schemes_beat_xof_bottleneck(self):
+        """The paper's bottleneck (XOF) shrinks when matrices are not fresh."""
+        assert expected_permutations(HERA_LIKE) < expected_permutations(PASTA_4_SPEC) / 2
+        assert projected_cycles(HERA_LIKE) < projected_cycles(PASTA_4_SPEC) / 2
+
+    def test_masta_like_sits_between_pastas(self):
+        assert (
+            projected_cycles(PASTA_4_SPEC)
+            < projected_cycles(MASTA_LIKE)
+            < projected_cycles(PASTA_3_SPEC)
+        )
+
+    def test_rubato_like_best_per_element(self):
+        rates = {spec.name: us_per_element(spec) for spec in ALL_VARIANTS}
+        assert rates["RUBATO-like"] == min(rates.values())
+
+    def test_all_variants_have_notes(self):
+        assert all(v.notes for v in ALL_VARIANTS)
