@@ -157,19 +157,28 @@ class FrameRunResult:
 
 
 def encrypt_frame(
-    cipher: Pasta, resolution: Resolution, nonce: int, seed: int = 0
+    cipher: Pasta,
+    resolution: Resolution,
+    nonce: int,
+    seed: int = 0,
+    allow_nonce_reuse: bool = False,
 ) -> FrameRunResult:
     """Pack, encrypt, serialize, deserialize, decrypt, and verify one frame.
 
     The wire bytes are produced by the actual bit-packing serializer, so
     ``ciphertext_bytes`` is the measured size of real data, not a formula.
+    A frame spans many blocks, so the encrypt side runs on the batched
+    keystream engine (one vectorized pass per frame instead of one scalar
+    derivation per block). ``allow_nonce_reuse`` forwards to
+    :meth:`Pasta.encrypt` — only set it when deliberately re-encrypting the
+    same frame (e.g. benchmark repetitions).
     """
     from repro.pasta.encoding import deserialize_ciphertext, serialize_ciphertext
 
     params = cipher.params
     pixels = synthetic_frame(resolution, seed)
     elements = pack_pixels(pixels, params.p)
-    ciphertext = cipher.encrypt(elements, nonce)
+    ciphertext = cipher.encrypt(elements, nonce, allow_nonce_reuse=allow_nonce_reuse)
     wire = serialize_ciphertext(ciphertext, params.p)
     received = deserialize_ciphertext(wire, params.p, len(elements))
     recovered_elements = cipher.decrypt(received, nonce)

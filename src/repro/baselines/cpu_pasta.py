@@ -76,3 +76,19 @@ def measure_python_reference(params: PastaParams, blocks: int = 3, nonce: int = 
     for counter in range(blocks):
         cipher.keystream_block(nonce, counter)
     return (time.perf_counter() - start) / blocks * 1e6
+
+
+def measure_python_batched(params: PastaParams, blocks: int = 64, nonce: int = 0) -> float:
+    """Wall-clock microseconds per block of the batched keystream engine.
+
+    Same supplementary role as :func:`measure_python_reference`, but for
+    the data-parallel path (:mod:`repro.pasta.batch`). Uses a private
+    cache-less engine so the number reflects cold derivation, not LRU hits.
+    """
+    from repro.pasta.batch import KeystreamEngine
+
+    cipher = Pasta(params, random_key(params))
+    engine = KeystreamEngine(params, cache_size=0)
+    start = time.perf_counter()
+    engine.keystream_blocks(cipher.key, nonce, 0, blocks)
+    return (time.perf_counter() - start) / blocks * 1e6

@@ -46,9 +46,33 @@ class PrimeField:
             raise ParameterError(f"modulus {p} is not prime")
         self.p = int(p)
         self.bits = self.p.bit_length()
-        # Safe to multiply two reduced elements in int64?
+        # Safe to multiply two reduced elements in int64?  This predicate
+        # covers a *single* product only — accumulating a dot product of k
+        # such products needs mul_accumulate_fits_int64(k) (or the chunked
+        # reduction below), otherwise the int64 fast path silently wraps for
+        # wide moduli (e.g. ~2^28..2^31.5 with t = 128).
         self._mul_fits_int64 = (self.p - 1) ** 2 <= _INT64_MAX
         self.dtype = np.int64 if self._mul_fits_int64 else object
+        if self._mul_fits_int64:
+            # Longest run of products that can be summed — together with one
+            # already-reduced carry term (< p) — without exceeding int64.
+            # The (p-1) headroom is what makes chunked accumulation sound:
+            # acc < p plus chunk * (p-1)^2 <= INT64_MAX - (p-1) never wraps.
+            self._acc_chunk = max(1, (_INT64_MAX - (self.p - 1)) // ((self.p - 1) ** 2 or 1))
+        else:
+            self._acc_chunk = 0
+
+    def mul_accumulate_fits_int64(self, count: int) -> bool:
+        """True iff ``count`` products of reduced elements sum within int64.
+
+        The constructor's single-product predicate is *not* sufficient for
+        dot products: ``(p-1)**2 <= INT64_MAX`` admits moduli whose t-term
+        accumulations overflow. Every accumulation fast path must gate on
+        this (or chunk with :attr:`_acc_chunk`) instead.
+        """
+        if not self._mul_fits_int64:
+            return False
+        return (self.p - 1) ** 2 * int(count) + (self.p - 1) <= _INT64_MAX
 
     # -- scalar operations -------------------------------------------------
 
@@ -143,8 +167,9 @@ class PrimeField:
         inner = a.shape[-1]
         if self._mul_fits_int64:
             # Chunk the inner dimension so partial sums stay below 2^63.
-            per_term = (self.p - 1) ** 2
-            chunk = max(1, _INT64_MAX // max(per_term, 1))
+            # _acc_chunk already reserves headroom for the reduced carry
+            # term, so `acc + chunk_product` itself cannot wrap.
+            chunk = self._acc_chunk
             if inner <= chunk:
                 return (a @ b) % self.p
             acc = np.zeros((a.shape[0], b.shape[1]), dtype=np.int64)
@@ -153,6 +178,31 @@ class PrimeField:
                 acc = (acc + a[:, start:end] @ b[start:end, :]) % self.p
             return acc
         return (a.astype(object) @ b.astype(object)) % self.p
+
+    def batched_mat_vec(self, mats: np.ndarray, vecs: np.ndarray) -> np.ndarray:
+        """Per-row matrix-vector products: ``out[n] = mats[n] @ vecs[n] mod p``.
+
+        ``mats`` is ``(N, r, t)``, ``vecs`` is ``(N, t)``; the result is
+        ``(N, r)``. This is the batched affine-layer workhorse of
+        :mod:`repro.pasta.batch`. The int64 path gates on the accumulation
+        predicate (not the single-product one) and falls back to the same
+        chunked reduction as :meth:`mat_vec` near the modulus bound.
+        """
+        inner = mats.shape[-1]
+        if self._mul_fits_int64:
+            if self.mul_accumulate_fits_int64(inner):
+                return np.einsum("nij,nj->ni", mats, vecs) % self.p
+            chunk = self._acc_chunk
+            acc = np.zeros(mats.shape[:2], dtype=np.int64)
+            for start in range(0, inner, chunk):
+                end = min(start + chunk, inner)
+                part = np.einsum("nij,nj->ni", mats[:, :, start:end], vecs[:, start:end])
+                acc = (acc + part) % self.p
+            return acc
+        out = np.empty(mats.shape[:2], dtype=object)
+        for n in range(mats.shape[0]):
+            out[n] = (mats[n].astype(object) @ vecs[n].astype(object)) % self.p
+        return out
 
     # -- misc ----------------------------------------------------------------
 

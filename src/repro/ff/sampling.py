@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Tuple
 
+import numpy as np
+
 from repro.errors import ParameterError
 
 
@@ -65,6 +67,23 @@ class RejectionSampler:
         """
         value = word & self.mask
         return value, min_value <= value < self.p
+
+    def candidates_batch(
+        self, words: np.ndarray, min_value: int = 0
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`candidate` over a uint64 word array.
+
+        Returns ``(values, accepted)`` with the same shape as ``words``:
+        masked candidates and the accept decision each scalar call would
+        have made. The batched keystream engine applies this to whole word
+        matrices (paper Sec. IV-B's mask-and-filter, one numpy pass per
+        squeeze batch instead of one Python call per word).
+        """
+        values = words & np.uint64(self.mask)
+        accepted = values < np.uint64(self.p)
+        if min_value > 0:
+            accepted &= values >= np.uint64(min_value)
+        return values, accepted
 
     def sample(
         self, words: Iterator[int], count: int, min_value: int = 0

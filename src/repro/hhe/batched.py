@@ -23,7 +23,8 @@ from repro.errors import ParameterError
 from repro.fhe.batching import BatchEncoder
 from repro.fhe.bfv import Bfv, Ciphertext, PublicKey, RelinKey
 from repro.hhe.backend import BfvOpCounts
-from repro.pasta.cipher import BlockMaterials, generate_block_materials
+from repro.pasta.batch import get_engine
+from repro.pasta.cipher import BlockMaterials
 from repro.pasta.params import PastaParams
 
 
@@ -66,6 +67,10 @@ class BatchedHheServer:
         self.rlk = rlk
         self.encoder = encoder
         self.encrypted_key = list(encrypted_key)
+        #: Shared batched keystream engine: materials and matrices for the
+        #: public (nonce, counter) schedule come from its LRU, so serving
+        #: the same stream twice never re-derives them.
+        self.engine = get_engine(params)
 
     # -- slot-wise circuit pieces -------------------------------------------------
 
@@ -141,35 +146,28 @@ class BatchedHheServer:
             if len(block) != t:
                 raise ParameterError("batched transciphering requires full t-element blocks")
 
-        materials: List[BlockMaterials] = [
-            generate_block_materials(params, nonce, int(c)) for c in counters
-        ]
+        # One batched derivation for every block's materials; matrices are
+        # materialized through (and retained by) the engine's LRU cache.
+        block_counters = [int(c) for c in counters]
+        materials: List[BlockMaterials] = self.engine.materials(nonce, block_counters)
+
+        def mats(layer: int, side: str) -> List:
+            return [self.engine.matrix(nonce, c, layer, side) for c in block_counters]
+
         self._ops = BfvOpCounts()
 
         xl = list(self.encrypted_key[:t])
         xr = list(self.encrypted_key[t:])
         for i in range(params.rounds):
-            xl = self._affine(
-                xl,
-                [m.matrix_l(i) for m in materials],
-                [m.layers[i].rc_l for m in materials],
-            )
-            xr = self._affine(
-                xr,
-                [m.matrix_r(i) for m in materials],
-                [m.layers[i].rc_r for m in materials],
-            )
+            xl = self._affine(xl, mats(i, "l"), [m.layers[i].rc_l for m in materials])
+            xr = self._affine(xr, mats(i, "r"), [m.layers[i].rc_r for m in materials])
             xl, xr = self._mix(xl, xr)
             full = xl + xr
             full = self._feistel(full) if i < params.rounds - 1 else self._cube(full)
             xl, xr = full[:t], full[t:]
         last = params.rounds
-        xl = self._affine(
-            xl, [m.matrix_l(last) for m in materials], [m.layers[last].rc_l for m in materials]
-        )
-        xr = self._affine(
-            xr, [m.matrix_r(last) for m in materials], [m.layers[last].rc_r for m in materials]
-        )
+        xl = self._affine(xl, mats(last, "l"), [m.layers[last].rc_l for m in materials])
+        xr = self._affine(xr, mats(last, "r"), [m.layers[last].rc_r for m in materials])
         xl, _ = self._mix(xl, xr)
 
         # m = c - KS, slot-wise: negate the keystream, add the per-block c_j.

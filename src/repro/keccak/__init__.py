@@ -21,6 +21,7 @@ from repro.keccak.shake import (
     shake256,
 )
 from repro.keccak.sponge import KeccakSponge
+from repro.keccak.vectorized import BatchedShake, batched_shake128, keccak_f1600_batch
 
 __all__ = [
     "KECCAK_ROUNDS",
@@ -29,6 +30,7 @@ __all__ = [
     "SHAKE128_RATE_BYTES",
     "SHAKE256_RATE_BYTES",
     "WORDS_PER_BATCH",
+    "BatchedShake",
     "KeccakCoreModel",
     "KeccakSponge",
     "NaiveKeccakCore",
@@ -36,7 +38,9 @@ __all__ = [
     "Shake",
     "TimedWord",
     "UnrolledNaiveKeccakCore",
+    "batched_shake128",
     "keccak_f1600",
+    "keccak_f1600_batch",
     "keccak_round",
     "sha3_256",
     "sha3_512",

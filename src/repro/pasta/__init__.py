@@ -1,5 +1,11 @@
 """PASTA-3/-4 stream cipher: reference implementation + decryption circuit."""
 
+from repro.pasta.batch import (
+    KeystreamEngine,
+    batched_sequential_matrices,
+    generate_block_materials_batch,
+    get_engine,
+)
 from repro.pasta.cipher import (
     BlockMaterials,
     LayerMaterials,
@@ -47,14 +53,18 @@ __all__ = [
     "BlockMaterials",
     "CircuitCost",
     "KeystreamCircuit",
+    "KeystreamEngine",
     "LayerMaterials",
     "Pasta",
     "PastaParams",
     "PlainBackend",
+    "batched_sequential_matrices",
     "block_xof",
     "deserialize_ciphertext",
     "encode_block_seed",
     "generate_block_materials",
+    "generate_block_materials_batch",
+    "get_engine",
     "pack_elements",
     "serialize_ciphertext",
     "serialized_block_bytes",

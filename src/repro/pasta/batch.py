@@ -1,0 +1,394 @@
+"""Batched keystream engine: many PASTA blocks per numpy pass.
+
+The scalar path (:mod:`repro.pasta.cipher`) derives one block at a time:
+one Python Keccak permutation per 21 XOF words, one Python loop iteration
+per rejection-sampled coefficient, one mat-vec per affine layer. That is
+the repository's dominant cost center — every eval table, the HHE server,
+and the video benchmark sit behind it. This engine converts the whole
+pipeline to data-parallel execution, mirroring how the paper's hardware
+overlaps XOF squeezing, rejection sampling, and MatMul across blocks:
+
+* **XOF**: N sponge states advance in lockstep through the vectorized
+  Keccak-f[1600] (:mod:`repro.keccak.vectorized`) — one ``(N, 25)``
+  permutation replaces N scalar ones.
+* **Sampling**: whole ``(N, W)`` word matrices are masked and filtered at
+  once (paper Sec. IV-B); only the variable-length take of accepted words
+  is per-lane, and that is a numpy index operation, not a word loop.
+* **MatGen / MatMul**: the sequential-matrix recurrence and the affine
+  layers run across the batch axis (``einsum`` with overflow-safe
+  accumulation from :meth:`repro.ff.prime.PrimeField.batched_mat_vec`).
+* **Caching**: a per-``(nonce, counter)`` LRU keeps both the sampled
+  materials and the materialized matrices, so repeated transciphering of
+  the same stream — the HHE server re-deriving what the client already
+  derived — never regenerates them.
+
+Everything is bit-exact with the scalar golden model: same word stream per
+lane, same accept/reject decisions, same field arithmetic. The test suite
+asserts equality block-for-block and the benchmark records the speedup
+(target >= 5x at batch 64 for PASTA-3).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.ff.sampling import SamplerStats
+from repro.keccak.vectorized import batched_shake128
+from repro.pasta.cipher import BlockMaterials, LayerMaterials
+from repro.pasta.matgen import generate_matrix
+from repro.pasta.params import PastaParams
+from repro.pasta.xof import encode_block_seed
+
+__all__ = [
+    "KeystreamEngine",
+    "generate_block_materials_batch",
+    "batched_sequential_matrices",
+    "get_engine",
+    "DEFAULT_CACHE_BLOCKS",
+]
+
+#: Default LRU capacity in cached blocks. A PASTA-3 block's materialized
+#: matrices are ~1 MB (8 x 128 x 128 int64), so 64 blocks bound the cache
+#: at a comfortable ~64 MB worst case.
+DEFAULT_CACHE_BLOCKS = 64
+
+
+class _BatchWordStream:
+    """Lockstep XOF word buffers with per-lane consumption pointers.
+
+    Lane ``n`` sees exactly the word stream ``shake128(seed_n).words()``
+    would produce; the batch only changes *when* permutations happen, never
+    what each lane reads.
+    """
+
+    def __init__(self, params: PastaParams, nonce: int, counters: Sequence[int]):
+        seeds = [encode_block_seed(params, nonce, int(c)) for c in counters]
+        self._shake = batched_shake128(seeds)
+        self.n = len(seeds)
+        self.rate_words = self._shake.rate_words
+        self._buf = np.empty((self.n, 0), dtype=np.uint64)
+        self.pos = np.zeros(self.n, dtype=np.intp)
+
+    @property
+    def capacity(self) -> int:
+        return self._buf.shape[1]
+
+    def grow(self, blocks: int = 1) -> None:
+        """Squeeze ``blocks`` more 21-word batches onto every lane."""
+        new = [self._shake.squeeze_words_block() for _ in range(blocks)]
+        self._buf = np.concatenate([self._buf, *new], axis=1)
+
+    def remaining(self, lane: int) -> np.ndarray:
+        return self._buf[lane, self.pos[lane] :]
+
+
+def _sample_lane(
+    stream: _BatchWordStream,
+    sampler,
+    lane: int,
+    count: int,
+    min_value: int,
+) -> Tuple[np.ndarray, int]:
+    """Draw ``count`` accepted candidates for one lane; returns (values, rejected).
+
+    Identical decisions to ``RejectionSampler.sample`` on the lane's scalar
+    word stream, but the mask/compare runs as one numpy pass over the
+    lane's buffered words.
+    """
+    while True:
+        words = stream.remaining(lane)
+        values, ok = sampler.candidates_batch(words, min_value)
+        idx = np.flatnonzero(ok)
+        if idx.shape[0] >= count:
+            take = idx[:count]
+            consumed = int(take[-1]) + 1
+            stream.pos[lane] += consumed
+            return values[take], consumed - count
+        # Not enough accepted words buffered yet — squeeze another batch
+        # for every lane (lanes are in lockstep; extra words stay buffered).
+        stream.grow()
+
+
+def generate_block_materials_batch(
+    params: PastaParams, nonce: int, counters: Sequence[int]
+) -> List[BlockMaterials]:
+    """Batched :func:`repro.pasta.cipher.generate_block_materials`.
+
+    Returns one :class:`BlockMaterials` per counter, bit-exact with the
+    scalar derivation (values, sampler statistics, and permutation counts
+    included).
+    """
+    counters = [int(c) for c in counters]
+    if not counters:
+        return []
+    field = params.field
+    sampler = params.sampler
+    t = params.t
+    n = len(counters)
+    stream = _BatchWordStream(params, nonce, counters)
+    # Pre-squeeze roughly the expected demand in one go; the sampler grows
+    # the buffer on demand for unlucky lanes.
+    expected_words = params.coefficients_per_block * sampler.expected_words_per_element
+    stream.grow(max(1, int(np.ceil(expected_words * 1.05 / stream.rate_words))))
+
+    rejected = np.zeros(n, dtype=np.int64)
+    # layer_values[i][v][lane] = sampled vector v of layer i for that lane.
+    layer_values: List[List[List[np.ndarray]]] = []
+    for _ in range(params.affine_layers):
+        vectors: List[List[np.ndarray]] = []
+        for min_value in (1, 1, 0, 0):  # alpha_L, alpha_R, rc_L, rc_R
+            per_lane: List[np.ndarray] = []
+            for lane in range(n):
+                values, nrej = _sample_lane(stream, sampler, lane, t, min_value)
+                rejected[lane] += nrej
+                per_lane.append(values)
+            vectors.append(per_lane)
+        layer_values.append(vectors)
+
+    use_int64 = field.dtype is np.int64
+    out: List[BlockMaterials] = []
+    for lane, counter in enumerate(counters):
+        layers = []
+        for vectors in layer_values:
+            arrays = []
+            for per_lane in vectors:
+                if use_int64:
+                    arrays.append(per_lane[lane].astype(np.int64))
+                else:
+                    arrays.append(field.array(int(v) for v in per_lane[lane]))
+            layers.append(
+                LayerMaterials(alpha_l=arrays[0], alpha_r=arrays[1], rc_l=arrays[2], rc_r=arrays[3])
+            )
+        words_consumed = int(stream.pos[lane])
+        out.append(
+            BlockMaterials(
+                params=params,
+                nonce=nonce,
+                counter=counter,
+                layers=tuple(layers),
+                stats=SamplerStats(
+                    accepted=params.coefficients_per_block, rejected=int(rejected[lane])
+                ),
+                # Scalar sponges squeeze lazily: consuming w words costs
+                # ceil(w / 21) permutations (absorb included).
+                permutations=-(-words_consumed // stream.rate_words),
+            )
+        )
+    return out
+
+
+def batched_sequential_matrices(params: PastaParams, alphas: np.ndarray) -> np.ndarray:
+    """Materialize N sequential matrices at once: ``(N, t) -> (N, t, t)``.
+
+    Row recurrence of paper Eq. (1) (see :mod:`repro.pasta.matgen`),
+    broadcast across the batch axis. Works for both the int64 and the
+    big-int object dtype; the int64 update ``shifted + feedback * alpha``
+    is bounded by ``(p-1)^2 + (p-1)``, within the field's accumulation
+    headroom.
+    """
+    field = params.field
+    p = field.p
+    n, t = alphas.shape
+    out = np.empty((n, t, t), dtype=field.dtype)
+    row = alphas.copy()
+    out[:, 0, :] = row
+    shifted = np.empty_like(row)
+    for j in range(1, t):
+        feedback = row[:, -1]
+        shifted[:, 1:] = row[:, :-1]
+        shifted[:, 0] = 0
+        row = (shifted + feedback[:, None] * alphas) % p
+        out[:, j, :] = row
+    return out
+
+
+@dataclass
+class _CacheEntry:
+    """One cached block: sampled materials + lazily materialized matrices."""
+
+    materials: BlockMaterials
+    matrices: Dict[Tuple[int, str], np.ndarray] = dataclass_field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Hit/miss counters and current occupancy of an engine's LRU."""
+
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+
+
+class KeystreamEngine:
+    """Batched keystream generation for one parameter set, with an LRU.
+
+    The engine is shared per :class:`PastaParams` (see :func:`get_engine`)
+    so every consumer — the cipher's streaming API, the batched HHE
+    server, the video pipeline — hits one materials cache. Keys are
+    ``(nonce, counter)``; values carry the block's sampled materials and
+    any matrices already materialized for it.
+    """
+
+    def __init__(self, params: PastaParams, cache_size: int = DEFAULT_CACHE_BLOCKS):
+        if cache_size < 0:
+            raise ParameterError(f"cache_size must be >= 0, got {cache_size}")
+        self.params = params
+        self.cache_size = cache_size
+        self._cache: "OrderedDict[Tuple[int, int], _CacheEntry]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    # -- cache plumbing ------------------------------------------------------
+
+    def cache_info(self) -> CacheInfo:
+        return CacheInfo(
+            hits=self._hits, misses=self._misses, size=len(self._cache), maxsize=self.cache_size
+        )
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+        self._hits = 0
+        self._misses = 0
+
+    def _insert(self, nonce: int, counter: int, entry: _CacheEntry) -> None:
+        if self.cache_size == 0:
+            return
+        key = (nonce, counter)
+        self._cache[key] = entry
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    def _entries(self, nonce: int, counters: Sequence[int]) -> List[_CacheEntry]:
+        """Cached entries for every counter, batch-deriving the misses."""
+        counters = [int(c) for c in counters]
+        entries: Dict[int, _CacheEntry] = {}
+        missing: List[int] = []
+        for c in counters:
+            cached = self._cache.get((nonce, c))
+            if cached is not None:
+                self._hits += 1
+                self._cache.move_to_end((nonce, c))
+                entries[c] = cached
+            elif c not in entries:
+                self._misses += 1
+                missing.append(c)
+                entries[c] = None  # type: ignore[assignment]
+        if missing:
+            for materials in generate_block_materials_batch(self.params, nonce, missing):
+                entry = _CacheEntry(materials=materials)
+                entries[materials.counter] = entry
+                self._insert(nonce, materials.counter, entry)
+        return [entries[c] for c in counters]
+
+    # -- public API ----------------------------------------------------------
+
+    def materials(self, nonce: int, counters: Sequence[int]) -> List[BlockMaterials]:
+        """Block materials for every counter (cache-backed, batch-derived)."""
+        return [e.materials for e in self._entries(nonce, counters)]
+
+    def matrix(self, nonce: int, counter: int, layer: int, side: str) -> np.ndarray:
+        """One materialized affine matrix, cached alongside its materials."""
+        (entry,) = self._entries(nonce, [counter])
+        key = (layer, side)
+        if key not in entry.matrices:
+            alpha = getattr(entry.materials.layers[layer], f"alpha_{side}")
+            entry.matrices[key] = generate_matrix(self.params.field, alpha)
+        return entry.matrices[key]
+
+    def matrix_l(self, nonce: int, counter: int, layer: int) -> np.ndarray:
+        return self.matrix(nonce, counter, layer, "l")
+
+    def matrix_r(self, nonce: int, counter: int, layer: int) -> np.ndarray:
+        return self.matrix(nonce, counter, layer, "r")
+
+    def _stacked_matrices(
+        self, nonce: int, entries: List[_CacheEntry], layer: int, side: str
+    ) -> np.ndarray:
+        """(N, t, t) matrices for one layer/side, filling cache gaps batched."""
+        key = (layer, side)
+        todo = [i for i, e in enumerate(entries) if key not in e.matrices]
+        if todo:
+            alphas = np.stack(
+                [getattr(entries[i].materials.layers[layer], f"alpha_{side}") for i in todo]
+            )
+            mats = batched_sequential_matrices(self.params, alphas)
+            for slot, i in enumerate(todo):
+                entries[i].matrices[key] = mats[slot]
+            if len(todo) == len(entries):
+                # All fresh, already in batch order — skip the re-stack copy.
+                return mats
+        return np.stack([e.matrices[key] for e in entries])
+
+    def keystream_blocks(
+        self, key: np.ndarray, nonce: int, counter0: int, n_blocks: int
+    ) -> np.ndarray:
+        """Keystream for ``n_blocks`` consecutive counters as ``(n, t)``.
+
+        Row ``i`` equals the scalar ``Pasta.keystream_block(nonce,
+        counter0 + i)`` exactly; the whole batch shares each permutation,
+        sampling pass, and affine ``einsum``.
+        """
+        params = self.params
+        field = params.field
+        p = field.p
+        t = params.t
+        if n_blocks <= 0:
+            return field.zeros(0, t)
+        counters = list(range(counter0, counter0 + n_blocks))
+        entries = self._entries(nonce, counters)
+
+        state = np.tile(np.asarray(key).reshape(1, -1), (n_blocks, 1))
+        xl = state[:, :t] % p
+        xr = state[:, t:] % p
+
+        def rc_stack(layer: int, side: str) -> np.ndarray:
+            return np.stack([getattr(e.materials.layers[layer], f"rc_{side}") for e in entries])
+
+        def affine(x: np.ndarray, layer: int, side: str) -> np.ndarray:
+            mats = self._stacked_matrices(nonce, entries, layer, side)
+            return (field.batched_mat_vec(mats, x) + rc_stack(layer, side)) % p
+
+        for i in range(params.rounds):
+            xl = affine(xl, i, "l")
+            xr = affine(xr, i, "r")
+            s = (xl + xr) % p
+            xl = (xl + s) % p
+            xr = (xr + s) % p
+            full = np.concatenate([xl, xr], axis=1)
+            if i < params.rounds - 1:
+                squares = (full[:, :-1] * full[:, :-1]) % p
+                full[:, 1:] = (full[:, 1:] + squares) % p
+            else:
+                full = ((full * full % p) * full) % p
+            xl, xr = full[:, :t], full[:, t:]
+        last = params.rounds
+        xl = affine(xl, last, "l")
+        xr = affine(xr, last, "r")
+        s = (xl + xr) % p
+        xl = (xl + s) % p
+        return xl
+
+
+_ENGINES: Dict[PastaParams, KeystreamEngine] = {}
+
+
+def get_engine(params: PastaParams, cache_size: Optional[int] = None) -> KeystreamEngine:
+    """The shared per-parameter-set engine (created on first use).
+
+    ``cache_size`` only applies when the engine is first created; pass it
+    to :class:`KeystreamEngine` directly for a private instance.
+    """
+    engine = _ENGINES.get(params)
+    if engine is None:
+        engine = KeystreamEngine(
+            params, DEFAULT_CACHE_BLOCKS if cache_size is None else cache_size
+        )
+        _ENGINES[params] = engine
+    return engine

@@ -122,6 +122,8 @@ class Pasta:
         self.params = params
         self.field = params.field
         self.key = self.field.array(key)
+        #: nonce -> number of counters already consumed by :meth:`encrypt`.
+        self._used_nonces: dict = {}
 
     # -- keystream -----------------------------------------------------------
 
@@ -132,6 +134,18 @@ class Pasta:
         if materials is None:
             materials = generate_block_materials(self.params, nonce, counter)
         return self.permute(self.key, materials)
+
+    def keystream_blocks(self, nonce: int, counter0: int, n_blocks: int) -> np.ndarray:
+        """Keystream for ``n_blocks`` consecutive counters as an ``(n, t)`` array.
+
+        Runs on the batched engine (:mod:`repro.pasta.batch`): one
+        vectorized Keccak/sampling/MatMul pass for the whole batch, backed
+        by the shared per-``(nonce, counter)`` materials cache. Bit-exact
+        with calling :meth:`keystream_block` per counter.
+        """
+        from repro.pasta.batch import get_engine
+
+        return get_engine(self.params).keystream_blocks(self.key, nonce, counter0, n_blocks)
 
     def permute(self, state: np.ndarray, materials: BlockMaterials) -> np.ndarray:
         """Apply the PASTA permutation to ``state`` and truncate."""
@@ -177,23 +191,49 @@ class Pasta:
 
     # -- streaming ------------------------------------------------------------
 
-    def encrypt(self, message: Sequence[int], nonce: int) -> np.ndarray:
-        """Encrypt an arbitrary-length element sequence (counter = block index)."""
+    def encrypt(
+        self, message: Sequence[int], nonce: int, *, allow_nonce_reuse: bool = False
+    ) -> np.ndarray:
+        """Encrypt an arbitrary-length element sequence (counter = block index).
+
+        Reusing a ``(nonce, counter)`` pair repeats the keystream — the
+        classic stream-cipher footgun that hands an attacker the XOR (here:
+        difference) of two plaintexts. Each instance therefore tracks the
+        counter window consumed per nonce and raises
+        :class:`~repro.errors.ParameterError` on overlap. Pass
+        ``allow_nonce_reuse=True`` only when re-encrypting the *same*
+        message deterministically (e.g. benchmarks, idempotent retries).
+        """
+        self._guard_nonce(nonce, self._block_count(len(message)), allow_nonce_reuse)
         return self._stream(message, nonce, encrypt=True)
 
     def decrypt(self, ciphertext: Sequence[int], nonce: int) -> np.ndarray:
         """Inverse of :meth:`encrypt` under the same nonce."""
         return self._stream(ciphertext, nonce, encrypt=False)
 
+    def _block_count(self, n_elements: int) -> int:
+        return max(1, -(-n_elements // self.params.t))
+
+    def _guard_nonce(self, nonce: int, n_blocks: int, allow_nonce_reuse: bool) -> None:
+        used = self._used_nonces.get(nonce, 0)
+        if used > 0 and not allow_nonce_reuse:
+            raise ParameterError(
+                f"nonce {nonce} already consumed counters [0, {used}); keystream reuse "
+                "leaks plaintext differences — use a fresh nonce, or pass "
+                "allow_nonce_reuse=True if re-encrypting the same message"
+            )
+        self._used_nonces[nonce] = max(used, n_blocks)
+
     def _stream(self, data: Sequence[int], nonce: int, encrypt: bool) -> np.ndarray:
         arr = self.field.array(data)
         t = self.params.t
+        n_blocks = -(-arr.shape[0] // t)
         out = self.field.zeros(arr.shape[0])
         op = self.field.vec_add if encrypt else self.field.vec_sub
+        ks = self.keystream_blocks(nonce, 0, n_blocks)
         for counter, start in enumerate(range(0, arr.shape[0], t)):
             chunk = arr[start : start + t]
-            ks = self.keystream_block(nonce, counter)
-            out[start : start + chunk.shape[0]] = op(chunk, ks[: chunk.shape[0]])
+            out[start : start + chunk.shape[0]] = op(chunk, ks[counter, : chunk.shape[0]])
         return out
 
 

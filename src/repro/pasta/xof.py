@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import struct
 
+from repro.errors import ParameterError
 from repro.keccak.shake import Shake, shake128
 from repro.pasta.params import PastaParams
 
@@ -27,11 +28,18 @@ _U64_MAX = (1 << 64) - 1
 
 
 def encode_block_seed(params: PastaParams, nonce: int, counter: int) -> bytes:
-    """Serialize the public per-block seed material."""
+    """Serialize the public per-block seed material.
+
+    Every field must fit its wire slot; an out-of-range value raises
+    :class:`ParameterError` rather than leaking ``struct.error`` from the
+    packing internals.
+    """
+    if not 0 <= params.p <= _U64_MAX:
+        raise ParameterError(f"modulus must fit in 64 bits, got {params.p}")
     if not 0 <= nonce <= _U64_MAX:
-        raise ValueError(f"nonce must fit in 64 bits, got {nonce}")
+        raise ParameterError(f"nonce must fit in 64 bits, got {nonce}")
     if not 0 <= counter <= _U64_MAX:
-        raise ValueError(f"counter must fit in 64 bits, got {counter}")
+        raise ParameterError(f"counter must fit in 64 bits, got {counter}")
     return DOMAIN_TAG + struct.pack(">HBQQQ", params.t, params.rounds, params.p, nonce, counter)
 
 

@@ -118,6 +118,90 @@ class TestVectorOps:
         b = f.array([4, 5, 6])
         assert f.dot(a, b) == 32
 
+
+class TestAccumulationOverflowBoundary:
+    """Regression for the accumulation-unaware ``_mul_fits_int64`` predicate.
+
+    The old predicate only certified single products ``(p-1)^2 <= INT64_MAX``
+    and was consulted for whole dot products: at p = 2^31 - 1 a 128-term
+    accumulation of worst-case products overflows int64 by ~64x even though
+    every individual product fits. The fixed code pairs the predicate with
+    :meth:`PrimeField.mul_accumulate_fits_int64` and chunk-reduces whenever
+    the accumulated sum could exceed INT64_MAX.
+    """
+
+    P31 = 2_147_483_647  # Mersenne prime 2^31 - 1
+    INT64_MAX = np.iinfo(np.int64).max
+
+    def test_predicate_boundary(self):
+        field = PrimeField(self.P31)
+        # Single products fit (the old predicate's answer)...
+        assert (self.P31 - 1) ** 2 <= self.INT64_MAX
+        assert field._mul_fits_int64
+        # ...but a t = 128 accumulation does not (what the fix checks).
+        assert (self.P31 - 1) ** 2 * 128 > self.INT64_MAX
+        assert not field.mul_accumulate_fits_int64(128)
+        assert field.mul_accumulate_fits_int64(1)
+
+    def test_accumulate_predicate_small_modulus(self):
+        field = PrimeField(P17)
+        # 17-bit modulus: even million-term accumulations fit comfortably.
+        assert field.mul_accumulate_fits_int64(1 << 20)
+
+    def test_naive_einsum_would_be_wrong(self):
+        """The failure the old predicate admitted: worst-case all-(p-1)
+        inputs make the unchunked int64 einsum wrap and reduce to garbage."""
+        p = self.P31
+        t = 128
+        mats = np.full((1, t, t), p - 1, dtype=np.int64)
+        vecs = np.full((1, t), p - 1, dtype=np.int64)
+        with np.errstate(over="ignore"):
+            naive = np.einsum("nij,nj->ni", mats, vecs) % p
+        expected = (mats[0].astype(object) @ vecs[0].astype(object)) % p
+        assert [int(x) for x in naive[0]] != [int(x) for x in expected]
+
+    def test_batched_mat_vec_worst_case(self):
+        """batched_mat_vec chunk-reduces and matches the big-int ground truth
+        on the exact inputs that defeat the naive path above."""
+        field = PrimeField(self.P31)
+        t = 128
+        mats = np.full((2, t, t), self.P31 - 1, dtype=np.int64)
+        vecs = np.full((2, t), self.P31 - 1, dtype=np.int64)
+        got = field.batched_mat_vec(mats, vecs)
+        expected = (mats[0].astype(object) @ vecs[0].astype(object)) % self.P31
+        for n in range(2):
+            assert [int(x) for x in got[n]] == [int(x) for x in expected]
+
+    def test_mat_vec_worst_case(self):
+        field = PrimeField(self.P31)
+        t = 128
+        m = np.full((t, t), self.P31 - 1, dtype=np.int64)
+        v = np.full(t, self.P31 - 1, dtype=np.int64)
+        got = field.mat_vec(m, v)
+        expected = (m.astype(object) @ v.astype(object)) % self.P31
+        assert [int(x) for x in got] == [int(x) for x in expected]
+
+    def test_batched_mat_vec_matches_scalar_mat_vec(self):
+        field = PrimeField(self.P31)
+        rng = np.random.default_rng(23)
+        mats = rng.integers(0, self.P31, size=(3, 16, 16), dtype=np.int64)
+        vecs = rng.integers(0, self.P31, size=(3, 16), dtype=np.int64)
+        got = field.batched_mat_vec(mats, vecs)
+        for n in range(3):
+            assert np.array_equal(got[n], field.mat_vec(mats[n], vecs[n]))
+
+    def test_batched_mat_vec_object_dtype(self):
+        field = PrimeField(P54)
+        rng = np.random.default_rng(29)
+        mats_int = rng.integers(0, 1 << 50, size=(2, 6, 6))
+        vecs_int = rng.integers(0, 1 << 50, size=(2, 6))
+        mats = np.array(mats_int, dtype=object)
+        vecs = np.array(vecs_int, dtype=object)
+        got = field.batched_mat_vec(mats, vecs)
+        for n in range(2):
+            expected = (mats[n].astype(object) @ vecs[n].astype(object)) % P54
+            assert [int(x) for x in got[n]] == [int(x) for x in expected]
+
     def test_scalar_mul(self):
         f = PrimeField(P17)
         a = f.array([1, 2, P17 - 1])

@@ -1,0 +1,144 @@
+"""Vectorized Keccak vs the scalar permutation vs hashlib (ground truth).
+
+The batched engine is only admissible because ``keccak_f1600_batch`` is
+bit-exact with :func:`repro.keccak.permutation.keccak_f1600`, which the
+existing suite already cross-checks against FIPS 202 vectors. Here both are
+additionally pinned to ``hashlib``'s SHAKE128/SHAKE256 as an independent
+implementation, over hypothesis-generated batch sizes and messages.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.keccak import (
+    SHAKE128_RATE_BYTES,
+    BatchedShake,
+    batched_shake128,
+    keccak_f1600,
+    keccak_f1600_batch,
+    shake128,
+)
+from repro.keccak.vectorized import keccak_f1600_many
+
+_U64 = (1 << 64) - 1
+
+
+def _scalar_rows(states):
+    return [keccak_f1600(list(row)) for row in states]
+
+
+class TestBatchPermutation:
+    def test_zero_state_matches_scalar(self):
+        batch = keccak_f1600_batch(np.zeros((1, 25), dtype=np.uint64))
+        assert [int(x) for x in batch[0]] == keccak_f1600([0] * 25)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            keccak_f1600_batch(np.zeros((25,), dtype=np.uint64))
+        with pytest.raises(ValueError):
+            keccak_f1600_batch(np.zeros((2, 24), dtype=np.uint64))
+
+    def test_input_not_mutated(self):
+        states = np.arange(50, dtype=np.uint64).reshape(2, 25)
+        before = states.copy()
+        keccak_f1600_batch(states)
+        assert np.array_equal(states, before)
+
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=_U64), min_size=25, max_size=25),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_matches_scalar_lane_for_lane(self, states):
+        batch = keccak_f1600_batch(np.array(states, dtype=np.uint64))
+        expected = _scalar_rows(states)
+        for n in range(len(states)):
+            assert [int(x) for x in batch[n]] == expected[n]
+
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=_U64), min_size=25, max_size=25),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_many_wrapper(self, states):
+        assert keccak_f1600_many(states) == _scalar_rows(states)
+
+    def test_batch_rows_independent(self):
+        """Permuting a row alone or inside a batch gives the same result."""
+        rng = np.random.default_rng(7)
+        states = rng.integers(0, 1 << 64, size=(6, 25), dtype=np.uint64)
+        full = keccak_f1600_batch(states)
+        for n in range(6):
+            alone = keccak_f1600_batch(states[n : n + 1])
+            assert np.array_equal(full[n], alone[0])
+
+
+class TestBatchedShake:
+    def test_rejects_empty_batch(self):
+        with pytest.raises(ValueError):
+            BatchedShake(SHAKE128_RATE_BYTES, [])
+
+    def test_rejects_long_seed(self):
+        with pytest.raises(ValueError):
+            BatchedShake(SHAKE128_RATE_BYTES, [b"x" * SHAKE128_RATE_BYTES])
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            BatchedShake(7, [b"x"])
+
+    @given(
+        st.lists(st.binary(min_size=0, max_size=SHAKE128_RATE_BYTES - 1), min_size=1, max_size=6),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_matches_scalar_word_stream(self, seeds, blocks):
+        batch = batched_shake128(seeds)
+        got = np.concatenate(
+            [batch.squeeze_words_block() for _ in range(blocks)], axis=1
+        )
+        for n, seed in enumerate(seeds):
+            words = shake128(seed).words()
+            expected = [next(words) for _ in range(got.shape[1])]
+            assert [int(w) for w in got[n]] == expected
+
+    @given(st.lists(st.binary(min_size=0, max_size=64), min_size=1, max_size=4))
+    def test_matches_hashlib_shake128(self, seeds):
+        """Squeezed bytes equal hashlib's SHAKE128 digest for every lane."""
+        batch = batched_shake128(seeds)
+        words = np.concatenate(
+            [batch.squeeze_words_block() for _ in range(2)], axis=1
+        )
+        for n, seed in enumerate(seeds):
+            raw = words[n].astype("<u8").tobytes()
+            assert raw == hashlib.shake_128(seed).digest(len(raw))
+
+    def test_permutation_cadence_matches_scalar(self):
+        """One permutation per 21-word block, absorb included — the exact
+        count the scalar sponge reports after consuming the same words."""
+        batch = batched_shake128([b"a", b"b"])
+        assert batch.permutation_count == 1
+        batch.squeeze_words_block()
+        assert batch.permutation_count == 1  # absorb permutation exposed first
+        batch.squeeze_words_block()
+        assert batch.permutation_count == 2
+
+        scalar = shake128(b"a")
+        words = scalar.words()
+        for _ in range(2 * batch.rate_words):
+            next(words)
+        assert scalar.permutation_count == batch.permutation_count
+
+
+class TestScalarAgainstHashlib:
+    """Anchor the scalar reference itself to hashlib under hypothesis."""
+
+    @given(st.binary(min_size=0, max_size=500), st.integers(min_value=1, max_value=300))
+    def test_shake128(self, message, out_len):
+        assert shake128(message).read(out_len) == hashlib.shake_128(message).digest(out_len)

@@ -162,5 +162,5 @@ class TestMaterials:
         assert len(m.layers) == PASTA_TOY.affine_layers
 
     def test_nonce_out_of_range(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ParameterError):
             generate_block_materials(PASTA_TOY, 1 << 64, 0)

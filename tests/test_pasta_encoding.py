@@ -8,7 +8,9 @@ from repro.errors import ParameterError
 from repro.ff import P17, P33
 from repro.pasta import (
     PASTA_4,
+    PastaParams,
     deserialize_ciphertext,
+    encode_block_seed,
     pack_elements,
     serialize_ciphertext,
     serialized_block_bytes,
@@ -78,3 +80,46 @@ class TestCiphertextSerialization:
     def test_p33_width(self):
         wire = serialize_ciphertext([P33 - 1, 0, 5], P33)
         assert deserialize_ciphertext(wire, P33, 3) == [P33 - 1, 0, 5]
+
+
+class TestBlockSeedEncoding:
+    """Error paths of the per-block XOF seed (satellite of the batch engine).
+
+    Every out-of-range field must surface as :class:`ParameterError`, never
+    as a raw ``struct.error`` escaping the packing internals.
+    """
+
+    def test_valid_seed_layout(self):
+        seed = encode_block_seed(PASTA_4, 7, 9)
+        assert seed.startswith(b"PASTA-on-Edge-v1")
+        assert len(seed) == len(b"PASTA-on-Edge-v1") + 2 + 1 + 8 + 8 + 8
+
+    def test_nonce_too_large(self):
+        with pytest.raises(ParameterError, match="nonce"):
+            encode_block_seed(PASTA_4, 1 << 64, 0)
+
+    def test_nonce_negative(self):
+        with pytest.raises(ParameterError, match="nonce"):
+            encode_block_seed(PASTA_4, -1, 0)
+
+    def test_counter_too_large(self):
+        with pytest.raises(ParameterError, match="counter"):
+            encode_block_seed(PASTA_4, 0, 1 << 64)
+
+    def test_counter_negative(self):
+        with pytest.raises(ParameterError, match="counter"):
+            encode_block_seed(PASTA_4, 0, -1)
+
+    def test_modulus_too_large(self):
+        """A 65-bit prime builds a valid field but cannot ride the 8-byte slot.
+
+        Before the fix this escaped as ``struct.error`` from ``struct.pack``.
+        """
+        wide = PastaParams(name="p65-wire", t=2, rounds=1, p=(1 << 64) + 13, secure=False)
+        with pytest.raises(ParameterError, match="modulus"):
+            encode_block_seed(wide, 0, 0)
+
+    def test_never_raises_struct_error(self):
+        for nonce, counter in [(1 << 64, 0), (0, 1 << 70), (-5, 0)]:
+            with pytest.raises(ParameterError):
+                encode_block_seed(PASTA_4, nonce, counter)
