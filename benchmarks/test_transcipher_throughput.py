@@ -1,0 +1,177 @@
+"""Bench: homomorphic PASTA-3 transciphering throughput, RNS vs big-int.
+
+The tentpole number for the RNS/CRT polynomial engine: homomorphic PASTA-3
+keystream **blocks/s** on the batched HHE server, with the scalar big-int
+engine as the reference. A full PASTA-3 evaluation is 131k plaintext
+multiplications — hours on the scalar path — so the benchmark measures the
+BFV primitives both engines actually execute at full size (N = 1024,
+log2 q = 250) and extrapolates through the circuit's exact operation
+counts. The count formulas are not trusted: they are validated against a
+real instrumented PASTA_MICRO server evaluation, which also pins the two
+engines bit-exact end-to-end (same decrypted keystream; noise budgets
+equal, satisfying the <= 1 bit criterion exactly).
+
+Acceptance bar: >= 5x extrapolated blocks/s over the scalar engine.
+Results land in ``benchmarks/BENCH_transcipher_throughput.json`` (the CI
+artifact of the transcipher-throughput smoke job).
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.fhe import BatchEncoder, Bfv, toy_parameters
+from repro.hhe import BatchedHheServer, decrypt_batched_result, encrypt_key_batched
+from repro.pasta import PASTA_3, PASTA_MICRO, Pasta, random_key
+
+SPEEDUP_FLOOR = 5.0
+N = 1024
+LOG2_Q = 250
+BENCH_JSON = Path(__file__).parent / "BENCH_transcipher_throughput.json"
+
+#: Primitive timing repetitions per engine (the scalar engine is ~2 s per
+#: square+relin at full size, so it gets short samples).
+REPS = {"rns": 8, "bigint": 2}
+
+
+def op_counts(t: int, r: int) -> dict:
+    """Exact homomorphic op counts of one batched PASTA evaluation.
+
+    Derived from ``BatchedHheServer.transcipher_blocks``: 2(r+1) affine
+    layers (t^2 plain muls, t(t-1) adds, t plain adds each), r+1 mixes
+    (3t adds), r-1 Feistel layers (2t-1 squares/adds), one cube layer
+    (2t squares, 2t muls), and the final t keystream-subtraction adds.
+    """
+    return {
+        "plain_muls": 2 * (r + 1) * t * t,
+        "plain_adds": 2 * (r + 1) * t + t,
+        "adds": 2 * (r + 1) * t * (t - 1) + 3 * t * (r + 1) + (r - 1) * (2 * t - 1),
+        "squares": (r - 1) * (2 * t - 1) + 2 * t,
+        "muls": 2 * t,
+        "relins": (r - 1) * (2 * t - 1) + 2 * t + 2 * t,
+    }
+
+
+def test_op_count_formulas_match_real_run():
+    """The extrapolation formulas must match an instrumented evaluation."""
+    params = toy_parameters(PASTA_MICRO.p, n=256, log2_q=190)
+    scheme = Bfv(params, seed=b"counts")
+    sk, pk, rlk = scheme.keygen()
+    encoder = BatchEncoder(params.n, PASTA_MICRO.p)
+    key = random_key(PASTA_MICRO, seed=b"counts")
+    server = BatchedHheServer(
+        PASTA_MICRO, scheme, rlk, encoder, encrypt_key_batched(scheme, pk, encoder, key)
+    )
+    cipher = Pasta(PASTA_MICRO, key)
+    blocks = [
+        [int(c) for c in cipher.encrypt_block(m, nonce=1, counter=i)]
+        for i, m in enumerate([[7, 9], [3, 4]])
+    ]
+    result = server.transcipher_blocks(blocks, nonce=1, counters=[0, 1])
+    expected = op_counts(PASTA_MICRO.t, PASTA_MICRO.rounds)
+    measured = {k: getattr(result.ops, k) for k in expected}
+    assert measured == expected, (measured, expected)
+
+
+def test_micro_transcipher_bit_exact_across_engines():
+    """Both engines transcipher the same stream to identical plaintexts."""
+    params = toy_parameters(PASTA_MICRO.p, n=256, log2_q=190)
+    key = random_key(PASTA_MICRO, seed=b"parity")
+    cipher = Pasta(PASTA_MICRO, key)
+    message = [[101, 2024], [55, 66]]
+    blocks = [
+        [int(x) for x in cipher.encrypt_block(m, nonce=9, counter=c)]
+        for c, m in enumerate(message)
+    ]
+
+    budgets = {}
+    for engine in ("rns", "bigint"):
+        scheme = Bfv(params, seed=b"parity", engine=engine)
+        sk, pk, rlk = scheme.keygen()
+        encoder = BatchEncoder(params.n, PASTA_MICRO.p)
+        server = BatchedHheServer(
+            PASTA_MICRO, scheme, rlk, encoder, encrypt_key_batched(scheme, pk, encoder, key)
+        )
+        result = server.transcipher_blocks(blocks, nonce=9, counters=[0, 1])
+        assert decrypt_batched_result(scheme, sk, encoder, result) == message
+        budgets[engine] = min(
+            scheme.noise_budget_bits(sk, ct) for ct in result.ciphertexts
+        )
+    # Bit-exact engines leave identical noise — well within the 1-bit pin.
+    assert abs(budgets["rns"] - budgets["bigint"]) <= 1.0
+    assert budgets["rns"] == budgets["bigint"]
+
+
+def _time_primitives(engine: str) -> dict:
+    """Seconds per BFV primitive at full transciphering size."""
+    params = toy_parameters(PASTA_3.p, n=N, log2_q=LOG2_Q)
+    scheme = Bfv(params, seed=b"throughput", engine=engine)
+    sk, pk, rlk = scheme.keygen()
+    encoder = BatchEncoder(params.n, PASTA_3.p)
+    ct = scheme.encrypt_poly(pk, encoder.encode([3] * N))
+    ct2 = scheme.encrypt_poly(pk, encoder.encode([5] * N))
+    plain = encoder.encode(list(range(1, N + 1)))
+    mul_handle = scheme.prepare_mul_plain(plain)
+    add_handle = scheme.prepare_add_plain(plain)
+    scheme.mul_plain_poly(ct, mul_handle)  # warm the handle's eval cache
+
+    reps = REPS[engine]
+
+    def timed(fn, n=reps):
+        start = time.perf_counter()
+        for _ in range(n):
+            out = fn()
+        return (time.perf_counter() - start) / n, out
+
+    times = {}
+    times["plain_muls"], _ = timed(lambda: scheme.mul_plain_poly(ct, mul_handle))
+    times["plain_adds"], _ = timed(lambda: scheme.add_plain_poly(ct, add_handle))
+    times["adds"], _ = timed(lambda: scheme.add(ct, ct2), n=4 * reps)
+    times["squares"], sq = timed(lambda: scheme.square(ct, rlk), n=max(1, reps // 2))
+    times["muls"], _ = timed(lambda: scheme.multiply(ct, ct2, rlk), n=max(1, reps // 2))
+    times["relins"] = 0.0  # folded into squares/muls timings
+    assert scheme.decrypt_poly(sk, sq)[:1]  # sanity: still decryptable
+    return times
+
+
+def test_transcipher_throughput(capsys):
+    counts = op_counts(PASTA_3.t, PASTA_3.rounds)
+    report = {
+        "pasta": PASTA_3.name,
+        "bfv": {"n": N, "log2_q": LOG2_Q},
+        "op_counts": counts,
+        "engines": {},
+    }
+    for engine in ("rns", "bigint"):
+        prim = _time_primitives(engine)
+        eval_s = sum(counts[k] * prim[k] for k in counts)
+        blocks_s = N / eval_s  # one slot-batched evaluation carries N blocks
+        report["engines"][engine] = {
+            "primitives_s": prim,
+            "eval_s": eval_s,
+            "blocks_per_s": blocks_s,
+        }
+
+    rns = report["engines"]["rns"]
+    ref = report["engines"]["bigint"]
+    speedup = rns["blocks_per_s"] / ref["blocks_per_s"]
+    report["speedup"] = speedup
+    BENCH_JSON.write_text(json.dumps(report, indent=2) + "\n")
+
+    with capsys.disabled():
+        print()
+        print(f"Homomorphic {PASTA_3.name} transciphering (N={N}, log2 q={LOG2_Q}):")
+        for name, eng in report["engines"].items():
+            print(
+                f"  {name:7s} {eng['eval_s']:9.1f} s/evaluation  "
+                f"{eng['blocks_per_s']:8.3f} blocks/s"
+            )
+        print(f"  speedup  {speedup:8.1f}x  (floor {SPEEDUP_FLOOR}x)")
+        print(f"  -> {BENCH_JSON.name}")
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"RNS engine only {speedup:.2f}x over the scalar reference; "
+        f"floor is {SPEEDUP_FLOOR}x"
+    )

@@ -136,6 +136,21 @@ def this_work_design(
     )
 
 
+def transcipher_blocks_per_frame(
+    resolution: Resolution, params: PastaParams = PASTA_4
+) -> int:
+    """PASTA blocks the *server* must transcipher per received frame.
+
+    With BFV slot batching the server evaluates one decryption circuit per
+    ``N`` blocks (slots), so dividing this by the ring degree gives circuit
+    evaluations per frame; the per-block wall-clock comes from the RNS
+    engine throughput benchmark (benchmarks/test_transcipher_throughput.py).
+    """
+    per_element = pixels_per_element(params.p)
+    elements = -(-resolution.pixels // per_element)
+    return -(-elements // params.t)
+
+
 # -- functional pipeline --------------------------------------------------------
 
 

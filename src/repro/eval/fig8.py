@@ -10,6 +10,7 @@ from repro.apps.video import (
     fig8_rows,
     rise_design,
     this_work_design,
+    transcipher_blocks_per_frame,
 )
 from repro.eval.result import ExperimentResult
 from repro.eval.table2 import measure_soc_cycles
@@ -52,6 +53,11 @@ def generate(**_kwargs) -> ExperimentResult:
         "TW rows use the measured RISC-V SoC block latency; the '33b' variant "
         "serializes elements at the paper's 132 B/block (N=2^5, log q0=33), the "
         "'17b' variant at the 17-bit modulus width (68 B/block).",
+        f"Server side, each VGA frame is {transcipher_blocks_per_frame(VGA, PASTA_4)} "
+        f"PASTA-4 blocks ({transcipher_blocks_per_frame(QQVGA, PASTA_4)} for QQVGA) to "
+        "transcipher; with BFV slot batching one circuit evaluation covers N blocks, "
+        "and the RNS polynomial engine's per-block rate is measured in "
+        "benchmarks/test_transcipher_throughput.py.",
     ]
     return ExperimentResult(
         experiment_id="Fig. 8",

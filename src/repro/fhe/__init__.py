@@ -1,4 +1,4 @@
-"""FHE substrate: negacyclic NTT, ring arithmetic, and textbook BFV."""
+"""FHE substrate: negacyclic NTT, ring arithmetic, RNS/CRT engine, textbook BFV."""
 
 from repro.fhe.batching import BatchEncoder
 from repro.fhe.bfv import (
@@ -10,23 +10,46 @@ from repro.fhe.bfv import (
     SecretKey,
     toy_parameters,
 )
-from repro.fhe.ntt import NegacyclicNtt
+from repro.fhe.engine import BigintEngine, PreparedPlain, RnsEngine, make_engine
+from repro.fhe.ntt import NegacyclicNtt, bitrev_indices, get_ntt
+from repro.fhe.ntt_vec import VecNtt, butterfly_fits_int64, get_vec_ntt
 from repro.fhe.poly import Rq, centered, convolve_signed, negacyclic_mul_exact
 from repro.fhe.rng import PolyRng
+from repro.fhe.rns import (
+    RnsContext,
+    RnsPoly,
+    get_rns_context,
+    ntt_prime_chain,
+    rns_negacyclic_mul_exact,
+)
 
 __all__ = [
     "BatchEncoder",
     "Bfv",
     "BfvParams",
+    "BigintEngine",
     "Ciphertext",
     "NegacyclicNtt",
     "PolyRng",
+    "PreparedPlain",
     "PublicKey",
     "RelinKey",
+    "RnsContext",
+    "RnsEngine",
+    "RnsPoly",
     "Rq",
     "SecretKey",
+    "VecNtt",
+    "bitrev_indices",
+    "butterfly_fits_int64",
     "centered",
     "convolve_signed",
+    "get_ntt",
+    "get_rns_context",
+    "get_vec_ntt",
+    "make_engine",
     "negacyclic_mul_exact",
+    "ntt_prime_chain",
+    "rns_negacyclic_mul_exact",
     "toy_parameters",
 ]

@@ -14,15 +14,24 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.errors import ParameterError
-from repro.fhe.ntt import NegacyclicNtt
+from repro.fhe.ntt import get_ntt
+from repro.fhe.ntt_vec import get_vec_ntt
 
 
 class BatchEncoder:
-    """Encode/decode Z_p slot vectors into plaintext polynomials."""
+    """Encode/decode Z_p slot vectors into plaintext polynomials.
+
+    Transforms run on the vectorized NTT (a one-prime residue "chain"),
+    which is bit-identical to the scalar :class:`NegacyclicNtt` but turns
+    each encode/decode from N log N Python butterflies into log N numpy
+    passes — the per-round matrix/constant encodes of the batched HHE
+    server are on this path.
+    """
 
     def __init__(self, n: int, p: int):
-        # NegacyclicNtt validates the p = 1 (mod 2N) requirement.
-        self.ntt = NegacyclicNtt(n, p)
+        # get_ntt validates the p = 1 (mod 2N) requirement.
+        self.ntt = get_ntt(n, p)
+        self.vec = get_vec_ntt(n, (p,))
         self.n = n
         self.p = p
 
@@ -31,11 +40,13 @@ class BatchEncoder:
         if len(values) > self.n:
             raise ParameterError(f"at most {self.n} slots, got {len(values)}")
         padded = [int(v) % self.p for v in values] + [0] * (self.n - len(values))
-        return self.ntt.inverse(padded)
+        return [int(c) for c in self.vec.inverse([padded])[0]]
 
     def decode(self, poly: Sequence[int]) -> List[int]:
         """Plaintext polynomial -> full N-slot vector."""
-        return self.ntt.forward([int(c) % self.p for c in poly])
+        if len(poly) != self.n:
+            raise ParameterError(f"expected {self.n} coefficients, got {len(poly)}")
+        return [int(c) for c in self.vec.forward([[int(c) % self.p for c in poly]])[0]]
 
     def constant(self, value: int) -> List[int]:
         """Encode the same value into every slot (= the constant polynomial).

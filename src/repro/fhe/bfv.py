@@ -3,10 +3,16 @@
 Implemented from the original scheme description: RLWE keys, scale-Delta
 encoding (Delta = floor(q/p)), ciphertext addition, plaintext
 multiplication, tensor-product multiplication with p/q scaling, and
-base-T relinearization. Single ciphertext modulus (no RNS); all products
-are exact big-int polynomial products via Kronecker substitution
-(:mod:`repro.fhe.poly`), which is what makes pure-Python evaluation of the
-PASTA decryption circuit tractable.
+base-T relinearization.
+
+Polynomial arithmetic is delegated to a pluggable engine
+(:mod:`repro.fhe.engine`): the default is the RNS/CRT engine — q is a
+product of machine-word NTT-friendly primes, ciphertext polynomials are
+``(num_primes, N)`` residue matrices, and add/mul-plain chains run as
+vectorized pointwise NTT-domain operations (the structure of hardware FHE
+datapaths; see PAPERS.md on BASALISC/Medha). The scalar big-int engine
+(exact Kronecker-substitution products) remains available via
+``Bfv(..., engine="bigint")`` as the bit-exact reference.
 
 This substrate exists to demonstrate the paper's HHE workflow (Fig. 1)
 end-to-end. Parameters produced by :func:`toy_parameters` are sized for
@@ -16,22 +22,25 @@ module refuses nothing, but ``BfvParams.secure`` is honest about it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import NoiseBudgetExhausted, ParameterError
-from repro.fhe.poly import Rq, negacyclic_mul_exact
+from repro.fhe.engine import PreparedPlain, make_engine, round_div
+from repro.fhe.rns import ntt_prime_chain
 from repro.fhe.rng import PolyRng
 
-
-def _round_div(numerator: int, denominator: int) -> int:
-    """Round-to-nearest integer division (ties away from floor)."""
-    return (2 * numerator + denominator) // (2 * denominator)
+_round_div = round_div  # kept under the historical private name
 
 
 @dataclass(frozen=True)
 class BfvParams:
-    """BFV parameter set: ring degree N, ciphertext modulus q, plain modulus p."""
+    """BFV parameter set: ring degree N, ciphertext modulus q, plain modulus p.
+
+    ``rns_primes``, when present, is the NTT-friendly prime chain whose
+    product is q; it enables the RNS/CRT engine. Parameters without a chain
+    (e.g. a power-of-two q) are served by the scalar big-int engine.
+    """
 
     n: int
     q: int
@@ -39,12 +48,23 @@ class BfvParams:
     eta: int = 2  #: centered-binomial noise parameter
     relin_base_bits: int = 62  #: T = 2^bits decomposition base
     secure: bool = False  #: toy parameters are never claimed secure
+    rns_primes: Optional[Tuple[int, ...]] = field(default=None)
 
     def __post_init__(self) -> None:
         if self.q <= self.p:
             raise ParameterError("q must exceed the plaintext modulus")
         if self.n & (self.n - 1):
             raise ParameterError("N must be a power of two")
+        if self.rns_primes is not None:
+            product = 1
+            for prime in self.rns_primes:
+                if (prime - 1) % (2 * self.n):
+                    raise ParameterError(
+                        f"RNS prime {prime} does not support a 2N-th root of unity"
+                    )
+                product *= prime
+            if product != self.q:
+                raise ParameterError("rns_primes product must equal q")
 
     @property
     def delta(self) -> int:
@@ -64,16 +84,38 @@ class BfvParams:
         return 2 * self.n * ((self.q.bit_length() + 7) // 8)
 
 
-def toy_parameters(plain_modulus: int, n: int = 1024, log2_q: int = 250) -> BfvParams:
-    """Functional parameters sized for the PASTA toy circuit depth."""
-    return BfvParams(n=n, q=1 << log2_q, p=plain_modulus)
+def toy_parameters(
+    plain_modulus: int,
+    n: int = 1024,
+    log2_q: int = 250,
+    rns: bool = True,
+    prime_bits: int = 30,
+) -> BfvParams:
+    """Functional parameters sized for the PASTA toy circuit depth.
+
+    By default the ciphertext modulus is a product of ``prime_bits``-wide
+    NTT-friendly primes covering at least ``log2_q`` bits, so the scheme
+    runs on the RNS engine. ``rns=False`` reproduces the historical
+    power-of-two modulus served by the scalar big-int engine.
+    """
+    if not rns:
+        return BfvParams(n=n, q=1 << log2_q, p=plain_modulus)
+    primes = ntt_prime_chain(n, log2_q, prime_bits)
+    q = 1
+    for prime in primes:
+        q *= prime
+    return BfvParams(n=n, q=q, p=plain_modulus, rns_primes=primes)
 
 
 @dataclass
 class Ciphertext:
-    """A BFV ciphertext: a list of R_q polynomials (usually two)."""
+    """A BFV ciphertext: a list of R_q polynomials (usually two).
 
-    parts: List[List[int]]
+    The polynomial representation is engine-native — coefficient lists for
+    the big-int engine, lazily dual-domain residue matrices for RNS.
+    """
+
+    parts: List[Any]
 
     @property
     def size(self) -> int:
@@ -82,53 +124,61 @@ class Ciphertext:
 
 @dataclass
 class SecretKey:
-    s: List[int]
+    s: Any
 
 
 @dataclass
 class PublicKey:
-    b: List[int]  #: -(a s + e)
-    a: List[int]
+    b: Any  #: -(a s + e)
+    a: Any
 
 
 @dataclass
 class RelinKey:
     """Base-T key-switching key for s^2 -> s."""
 
-    parts: List[Tuple[List[int], List[int]]]
+    parts: List[Tuple[Any, Any]]
 
 
 class Bfv:
-    """The BFV scheme instance (deterministic given the seed)."""
+    """The BFV scheme instance (deterministic given the seed).
 
-    def __init__(self, params: BfvParams, seed: bytes = b"bfv"):
+    ``engine`` selects the polynomial substrate: ``"auto"`` (default) uses
+    RNS whenever the parameters carry a prime chain, ``"rns"`` /
+    ``"bigint"`` force one. Both engines are bit-exact against each other:
+    same seed, same parameters => identical keys, ciphertexts, decryptions
+    and noise budgets.
+    """
+
+    def __init__(self, params: BfvParams, seed: bytes = b"bfv", engine: str = "auto"):
         self.params = params
-        self.ring = Rq(params.n, params.q)
+        self.engine = make_engine(params, engine)
         self._rng = PolyRng(seed)
+
+    @property
+    def engine_name(self) -> str:
+        return self.engine.name
 
     # -- key generation ---------------------------------------------------------
 
     def keygen(self) -> Tuple[SecretKey, PublicKey, RelinKey]:
-        ring = self.ring
+        eng = self.engine
         params = self.params
-        s = self._rng.ternary(params.n)
-        a = self._rng.uniform_mod(params.q, params.n)
-        e = self._rng.centered_binomial(params.eta, params.n)
-        b = ring.sub(ring.neg(ring.mul(a, s)), ring.reduce([c % params.q for c in e]))
+        s = eng.lift(self._rng.ternary(params.n))
+        a = eng.lift(self._rng.uniform_mod(params.q, params.n))
+        e = eng.lift(self._rng.centered_binomial(params.eta, params.n))
+        b = eng.sub(eng.neg(eng.mul(a, s)), e)
         sk = SecretKey(s=s)
         pk = PublicKey(b=b, a=a)
 
         # Relinearization key: rlk_i = (-(a_i s + e_i) + T^i s^2, a_i).
-        s_sq = ring.mul(ring.reduce([c % params.q for c in s]), ring.reduce([c % params.q for c in s]))
+        s_sq = eng.mul(s, s)
         parts = []
         power = 1
         for _ in range(params.relin_parts):
-            a_i = self._rng.uniform_mod(params.q, params.n)
-            e_i = self._rng.centered_binomial(params.eta, params.n)
-            b_i = ring.add(
-                ring.sub(ring.neg(ring.mul(a_i, s)), ring.reduce([c % params.q for c in e_i])),
-                ring.scalar_mul(power, s_sq),
-            )
+            a_i = eng.lift(self._rng.uniform_mod(params.q, params.n))
+            e_i = eng.lift(self._rng.centered_binomial(params.eta, params.n))
+            b_i = eng.add(eng.sub(eng.neg(eng.mul(a_i, s)), e_i), eng.scalar_mul(power, s_sq))
             parts.append((b_i, a_i))
             power = (power * params.relin_base) % params.q
         return sk, pk, RelinKey(parts=parts)
@@ -147,29 +197,28 @@ class Bfv:
         return plain
 
     def encrypt_poly(self, pk: PublicKey, plain: Sequence[int]) -> Ciphertext:
-        ring = self.ring
+        eng = self.engine
         params = self.params
-        u = ring.reduce([c % params.q for c in self._rng.ternary(params.n)])
-        e1 = ring.reduce([c % params.q for c in self._rng.centered_binomial(params.eta, params.n)])
-        e2 = ring.reduce([c % params.q for c in self._rng.centered_binomial(params.eta, params.n)])
-        scaled = ring.scalar_mul(params.delta, ring.reduce([c % params.q for c in plain]))
-        c0 = ring.add(ring.add(ring.mul(pk.b, u), e1), scaled)
-        c1 = ring.add(ring.mul(pk.a, u), e2)
+        u = eng.lift(self._rng.ternary(params.n))
+        e1 = eng.lift(self._rng.centered_binomial(params.eta, params.n))
+        e2 = eng.lift(self._rng.centered_binomial(params.eta, params.n))
+        scaled = eng.scalar_mul(params.delta, eng.lift(self._reduced_plain(plain)))
+        c0 = eng.add(eng.add(eng.mul(pk.b, u), e1), scaled)
+        c1 = eng.add(eng.mul(pk.a, u), e2)
         return Ciphertext(parts=[c0, c1])
 
-    def _phase(self, sk: SecretKey, ct: Ciphertext) -> List[int]:
-        ring = self.ring
-        acc = list(ct.parts[0])
-        s_power = ring.reduce([c % self.params.q for c in sk.s])
+    def _phase(self, sk: SecretKey, ct: Ciphertext) -> Any:
+        eng = self.engine
+        acc = ct.parts[0]
         s_current = None
         for i, part in enumerate(ct.parts[1:], start=1):
-            s_current = s_power if i == 1 else ring.mul(s_current, s_power)
-            acc = ring.add(acc, ring.mul(part, s_current))
+            s_current = sk.s if i == 1 else eng.mul(s_current, sk.s)
+            acc = eng.add(acc, eng.mul(part, s_current))
         return acc
 
     def decrypt_poly(self, sk: SecretKey, ct: Ciphertext) -> List[int]:
         params = self.params
-        phase = self.ring.centered(self._phase(sk, ct))
+        phase = self.engine.centered(self._phase(sk, ct))
         return [_round_div(params.p * c, params.q) % params.p for c in phase]
 
     def decrypt(self, sk: SecretKey, ct: Ciphertext) -> int:
@@ -181,7 +230,7 @@ class Bfv:
         from math import log2
 
         params = self.params
-        phase = self.ring.centered(self._phase(sk, ct))
+        phase = self.engine.centered(self._phase(sk, ct))
         plain = [_round_div(params.p * c, params.q) % params.p for c in phase]
         noise = 1
         for c, m in zip(phase, plain):
@@ -196,16 +245,17 @@ class Bfv:
     def add(self, ct1: Ciphertext, ct2: Ciphertext) -> Ciphertext:
         if ct1.size != ct2.size:
             raise ParameterError("ciphertext sizes differ; relinearize first")
-        ring = self.ring
-        return Ciphertext(parts=[ring.add(a, b) for a, b in zip(ct1.parts, ct2.parts)])
+        eng = self.engine
+        return Ciphertext(parts=[eng.add(a, b) for a, b in zip(ct1.parts, ct2.parts)])
 
     def neg(self, ct: Ciphertext) -> Ciphertext:
-        return Ciphertext(parts=[self.ring.neg(p) for p in ct.parts])
+        return Ciphertext(parts=[self.engine.neg(p) for p in ct.parts])
 
     def add_plain(self, ct: Ciphertext, message: int) -> Ciphertext:
-        parts = [list(p) for p in ct.parts]
-        scaled = self.ring.scalar_mul(self.params.delta, self.ring_plain(message % self.params.p))
-        parts[0] = self.ring.add(parts[0], scaled)
+        params = self.params
+        value = params.delta * (message % params.p) % params.q
+        parts = list(ct.parts)
+        parts[0] = self.engine.add_const(parts[0], value)
         return Ciphertext(parts=parts)
 
     def mul_plain(self, ct: Ciphertext, constant: int) -> Ciphertext:
@@ -213,7 +263,7 @@ class Bfv:
         c = constant % self.params.p
         if c > self.params.p // 2:
             c -= self.params.p  # centered representative
-        return Ciphertext(parts=[self.ring.scalar_mul(c, p) for p in ct.parts])
+        return Ciphertext(parts=[self.engine.scalar_mul(c, p) for p in ct.parts])
 
     # -- plaintext-polynomial operations (used by slot batching) -----------------
 
@@ -222,66 +272,74 @@ class Bfv:
         half = p // 2
         return [(c % p) - p if (c % p) > half else (c % p) for c in plain]
 
-    def add_plain_poly(self, ct: Ciphertext, plain: Sequence[int]) -> Ciphertext:
-        """Add a plaintext polynomial (e.g. an encoded slot vector)."""
-        parts = [list(p) for p in ct.parts]
-        scaled = self.ring.scalar_mul(
-            self.params.delta, self.ring.reduce([c % self.params.q for c in self._reduced_plain(plain)])
-        )
-        parts[0] = self.ring.add(parts[0], scaled)
-        return Ciphertext(parts=parts)
-
     def _reduced_plain(self, plain: Sequence[int]) -> List[int]:
         if len(plain) != self.params.n:
             raise ParameterError(f"plaintext must have {self.params.n} coefficients")
         return [int(c) % self.params.p for c in plain]
 
-    def mul_plain_poly(self, ct: Ciphertext, plain: Sequence[int]) -> Ciphertext:
+    def _take_prepared(self, plain: Union[Sequence[int], PreparedPlain], kind: str) -> Any:
+        if isinstance(plain, PreparedPlain):
+            if plain.kind != kind or plain.engine != self.engine.name:
+                raise ParameterError(
+                    f"prepared plaintext is {plain.kind!r}/{plain.engine!r}, "
+                    f"needed {kind!r}/{self.engine.name!r}"
+                )
+            return plain.value
+        prepare = self.prepare_mul_plain if kind == "mul" else self.prepare_add_plain
+        return prepare(plain).value
+
+    def prepare_mul_plain(self, plain: Sequence[int]) -> PreparedPlain:
+        """Pre-encode a plaintext polynomial for repeated ``mul_plain_poly``.
+
+        Under the RNS engine the handle caches its NTT form after first use,
+        so the per-round affine-matrix plaintexts of the PASTA circuit pay
+        one forward transform no matter how often they recur.
+        """
+        self._reduced_plain(plain)  # length / coefficient validation
+        handle = self.engine.prepare_mul_plain(self._centered_plain(plain))
+        return PreparedPlain(kind="mul", engine=self.engine.name, value=handle)
+
+    def prepare_add_plain(self, plain: Sequence[int]) -> PreparedPlain:
+        """Pre-encode a Delta-scaled plaintext polynomial for ``add_plain_poly``."""
+        scaled = self.engine.scalar_mul(self.params.delta, self.engine.lift(self._reduced_plain(plain)))
+        return PreparedPlain(kind="add", engine=self.engine.name, value=scaled)
+
+    def add_plain_poly(
+        self, ct: Ciphertext, plain: Union[Sequence[int], PreparedPlain]
+    ) -> Ciphertext:
+        """Add a plaintext polynomial (e.g. an encoded slot vector)."""
+        scaled = self._take_prepared(plain, "add")
+        parts = list(ct.parts)
+        parts[0] = self.engine.add(parts[0], scaled)
+        return Ciphertext(parts=parts)
+
+    def mul_plain_poly(
+        self, ct: Ciphertext, plain: Union[Sequence[int], PreparedPlain]
+    ) -> Ciphertext:
         """Multiply by a plaintext polynomial (slot-wise product when the
         polynomial encodes a slot vector). Centered coefficients keep the
         noise growth at ||plain||_1 rather than p * N."""
-        self._reduced_plain(plain)  # length check
-        centered_plain = self._centered_plain(plain)
-        parts = []
-        for part in ct.parts:
-            product = negacyclic_mul_exact(self.ring.centered(part), centered_plain)
-            parts.append([c % self.params.q for c in product])
-        return Ciphertext(parts=parts)
+        handle = self._take_prepared(plain, "mul")
+        return Ciphertext(parts=[self.engine.mul_plain(part, handle) for part in ct.parts])
 
     def multiply_raw(self, ct1: Ciphertext, ct2: Ciphertext) -> Ciphertext:
         """Tensor multiplication -> 3-component ciphertext (no relin)."""
         if ct1.size != 2 or ct2.size != 2:
             raise ParameterError("multiply expects 2-component ciphertexts")
-        params = self.params
-        ring = self.ring
-        a0, a1 = (ring.centered(p) for p in ct1.parts)
-        b0, b1 = (ring.centered(p) for p in ct2.parts)
-        d0 = negacyclic_mul_exact(a0, b0)
-        cross1 = negacyclic_mul_exact(a0, b1)
-        cross2 = negacyclic_mul_exact(a1, b0)
-        d1 = [x + y for x, y in zip(cross1, cross2)]
-        d2 = negacyclic_mul_exact(a1, b1)
-        scale = lambda poly: [_round_div(params.p * c, params.q) % params.q for c in poly]
-        return Ciphertext(parts=[scale(d0), scale(d1), scale(d2)])
+        return Ciphertext(parts=self.engine.tensor_scale(ct1.parts, ct2.parts))
 
     def relinearize(self, ct: Ciphertext, rlk: RelinKey) -> Ciphertext:
         """Key-switch a 3-component ciphertext back to two components."""
         if ct.size != 3:
             raise ParameterError("relinearize expects a 3-component ciphertext")
+        eng = self.engine
         params = self.params
-        ring = self.ring
         c0, c1, c2 = ct.parts
-        digits: List[List[int]] = []
-        remainder = list(c2)
-        base = params.relin_base
-        for _ in range(params.relin_parts):
-            digits.append([c % base for c in remainder])
-            remainder = [c // base for c in remainder]
-        new0 = list(c0)
-        new1 = list(c1)
+        digits = eng.relin_digits(c2, params.relin_base, params.relin_parts)
+        new0, new1 = c0, c1
         for d, (b_i, a_i) in zip(digits, rlk.parts):
-            new0 = ring.add(new0, ring.mul(d, b_i))
-            new1 = ring.add(new1, ring.mul(d, a_i))
+            new0 = eng.add(new0, eng.mul(d, b_i))
+            new1 = eng.add(new1, eng.mul(d, a_i))
         return Ciphertext(parts=[new0, new1])
 
     def multiply(self, ct1: Ciphertext, ct2: Ciphertext, rlk: RelinKey) -> Ciphertext:

@@ -1,0 +1,232 @@
+"""Polynomial-arithmetic engines backing the BFV scheme.
+
+:class:`repro.fhe.bfv.Bfv` expresses every homomorphic operation against a
+small engine interface; two interchangeable implementations exist:
+
+* :class:`BigintEngine` — the scalar reference. Polynomials are plain
+  ``List[int]`` coefficient vectors in [0, q); ring products go through the
+  exact Kronecker-substitution multiplier (:mod:`repro.fhe.poly`). Correct
+  for *any* modulus, slow at the ~250-bit ciphertext moduli the PASTA
+  transciphering circuit needs.
+* :class:`RnsEngine` — the RNS/CRT hot path. q must be a product of
+  NTT-friendly primes; polynomials are :class:`repro.fhe.rns.RnsPoly`
+  residue matrices that stay in the NTT (eval) domain across chains of
+  additions and plaintext multiplications, reconstructing through CRT only
+  at tensor-product, relinearization and decryption boundaries.
+
+Both engines implement the same operations *exactly* mod q, so a scheme
+instantiated from the same seed produces bit-identical keys, ciphertexts,
+decryptions and noise budgets under either — pinned by
+``tests/test_fhe_rns.py`` and the transcipher throughput benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Sequence
+
+from repro.errors import ParameterError
+from repro.fhe.poly import Rq, negacyclic_mul_exact
+from repro.fhe.rns import RnsPoly, get_rns_context, ntt_prime_chain
+
+
+def round_div(numerator: int, denominator: int) -> int:
+    """Round-to-nearest integer division (ties away from floor)."""
+    return (2 * numerator + denominator) // (2 * denominator)
+
+
+@dataclass(frozen=True)
+class PreparedPlain:
+    """An encoded plaintext pre-lifted into one engine's representation.
+
+    ``kind`` is ``"mul"`` (centered, for plaintext products) or ``"add"``
+    (Delta-scaled, for plaintext additions); a handle prepared for one
+    purpose or engine cannot silently be consumed by another.
+    """
+
+    kind: str
+    engine: str
+    value: Any
+
+
+class BigintEngine:
+    """Scalar big-int reference engine (the pre-RNS behavior, verbatim)."""
+
+    name = "bigint"
+
+    def __init__(self, n: int, q: int, p: int):
+        self.n = n
+        self.q = q
+        self.p = p
+        self.ring = Rq(n, q)
+
+    # -- representation ----------------------------------------------------------
+
+    def lift(self, coeffs: Sequence[int]) -> List[int]:
+        if len(coeffs) != self.n:
+            raise ParameterError(f"expected {self.n} coefficients, got {len(coeffs)}")
+        return [int(c) % self.q for c in coeffs]
+
+    def to_ints(self, poly: List[int]) -> List[int]:
+        return list(poly)
+
+    def centered(self, poly: List[int]) -> List[int]:
+        return self.ring.centered(poly)
+
+    # -- ring operations mod q ----------------------------------------------------
+
+    def add(self, a: List[int], b: List[int]) -> List[int]:
+        return self.ring.add(a, b)
+
+    def sub(self, a: List[int], b: List[int]) -> List[int]:
+        return self.ring.sub(a, b)
+
+    def neg(self, a: List[int]) -> List[int]:
+        return self.ring.neg(a)
+
+    def scalar_mul(self, c: int, a: List[int]) -> List[int]:
+        return self.ring.scalar_mul(c, a)
+
+    def mul(self, a: List[int], b: List[int]) -> List[int]:
+        return self.ring.mul(a, b)
+
+    def add_const(self, a: List[int], value: int) -> List[int]:
+        out = list(a)
+        out[0] = (out[0] + value) % self.q
+        return out
+
+    # -- plaintext handles ---------------------------------------------------------
+
+    def prepare_mul_plain(self, centered_plain: List[int]) -> List[int]:
+        return list(centered_plain)
+
+    def mul_plain(self, poly: List[int], handle: List[int]) -> List[int]:
+        product = negacyclic_mul_exact(self.ring.centered(poly), handle)
+        return [c % self.q for c in product]
+
+    # -- CRT-boundary operations ---------------------------------------------------
+
+    def tensor_scale(self, a_parts: Sequence[Any], b_parts: Sequence[Any]) -> List[Any]:
+        """BFV tensor product with p/q rounding: exact centered products."""
+        a0, a1 = (self.ring.centered(p) for p in a_parts)
+        b0, b1 = (self.ring.centered(p) for p in b_parts)
+        d0 = negacyclic_mul_exact(a0, b0)
+        cross1 = negacyclic_mul_exact(a0, b1)
+        cross2 = negacyclic_mul_exact(a1, b0)
+        d1 = [x + y for x, y in zip(cross1, cross2)]
+        d2 = negacyclic_mul_exact(a1, b1)
+        return [self._scale(d) for d in (d0, d1, d2)]
+
+    def _scale(self, poly: Sequence[int]) -> List[int]:
+        return [round_div(self.p * c, self.q) % self.q for c in poly]
+
+    def relin_digits(self, poly: List[int], base: int, count: int) -> List[List[int]]:
+        digits: List[List[int]] = []
+        remainder = list(poly)
+        for _ in range(count):
+            digits.append([c % base for c in remainder])
+            remainder = [c // base for c in remainder]
+        return digits
+
+
+class RnsEngine:
+    """RNS/CRT engine: residue-matrix polynomials, lazy NTT-domain ops."""
+
+    name = "rns"
+
+    def __init__(self, n: int, q: int, p: int, primes: Sequence[int]):
+        self.n = n
+        self.q = q
+        self.p = p
+        self.ctx = get_rns_context(n, tuple(primes))
+        if self.ctx.modulus != q:
+            raise ParameterError("rns_primes product does not equal the ciphertext modulus")
+        # Extended basis for exact tensor products: |coeff| of a product of
+        # centered operands is <= N (q/2)^2, and d1 sums two such products.
+        ext_bits = (n * (q // 2 + 1) ** 2).bit_length() + 3
+        self.ext = get_rns_context(n, ntt_prime_chain(n, ext_bits))
+
+    # -- representation ----------------------------------------------------------
+
+    def lift(self, coeffs: Sequence[int]) -> RnsPoly:
+        return RnsPoly.from_ints(self.ctx, list(coeffs))
+
+    def to_ints(self, poly: RnsPoly) -> List[int]:
+        return poly.to_ints()
+
+    def centered(self, poly: RnsPoly) -> List[int]:
+        return poly.centered()
+
+    # -- ring operations mod q ----------------------------------------------------
+
+    def add(self, a: RnsPoly, b: RnsPoly) -> RnsPoly:
+        return a.add(b)
+
+    def sub(self, a: RnsPoly, b: RnsPoly) -> RnsPoly:
+        return a.sub(b)
+
+    def neg(self, a: RnsPoly) -> RnsPoly:
+        return a.neg()
+
+    def scalar_mul(self, c: int, a: RnsPoly) -> RnsPoly:
+        return a.scalar_mul(c)
+
+    def mul(self, a: RnsPoly, b: RnsPoly) -> RnsPoly:
+        return a.mul(b)
+
+    def add_const(self, a: RnsPoly, value: int) -> RnsPoly:
+        return a.add_const(value)
+
+    # -- plaintext handles ---------------------------------------------------------
+
+    def prepare_mul_plain(self, centered_plain: List[int]) -> RnsPoly:
+        # Eval rep is computed lazily on first product and cached in the
+        # handle, so a reused handle pays its forward transform once.
+        return self.lift(centered_plain)
+
+    def mul_plain(self, poly: RnsPoly, handle: RnsPoly) -> RnsPoly:
+        return poly.mul(handle)
+
+    # -- CRT-boundary operations ---------------------------------------------------
+
+    def tensor_scale(self, a_parts: Sequence[Any], b_parts: Sequence[Any]) -> List[Any]:
+        ext = self.ext
+        fa = [ext.forward(ext.to_rns(p.centered())) for p in a_parts]
+        fb = fa if b_parts is a_parts else [ext.forward(ext.to_rns(p.centered())) for p in b_parts]
+        d0 = ext.mod_mul(fa[0], fb[0])
+        d1 = ext.mod_add(ext.mod_mul(fa[0], fb[1]), ext.mod_mul(fa[1], fb[0]))
+        d2 = ext.mod_mul(fa[1], fb[1])
+        out = []
+        for mat in (d0, d1, d2):
+            exact = ext.from_rns_centered(ext.inverse(mat))
+            out.append(self.lift([round_div(self.p * c, self.q) % self.q for c in exact]))
+        return out
+
+    def relin_digits(self, poly: RnsPoly, base: int, count: int) -> List[RnsPoly]:
+        digits: List[RnsPoly] = []
+        remainder = poly.to_ints()
+        for _ in range(count):
+            digits.append(self.lift([c % base for c in remainder]))
+            remainder = [c // base for c in remainder]
+        return digits
+
+
+def make_engine(params: "Any", engine: str):
+    """Build the requested engine (or the best default) for a parameter set.
+
+    ``engine`` may be ``"rns"``, ``"bigint"``, or ``"auto"`` — auto picks
+    RNS whenever the parameters carry a prime chain, which is what
+    :func:`repro.fhe.bfv.toy_parameters` produces by default.
+    """
+    if engine == "auto":
+        engine = "rns" if params.rns_primes else "bigint"
+    if engine == "rns":
+        if not params.rns_primes:
+            raise ParameterError(
+                "RNS engine requires rns_primes (use toy_parameters, which "
+                "builds an NTT-friendly prime-product modulus)"
+            )
+        return RnsEngine(params.n, params.q, params.p, params.rns_primes)
+    if engine == "bigint":
+        return BigintEngine(params.n, params.q, params.p)
+    raise ParameterError(f"unknown BFV engine {engine!r} (expected 'rns', 'bigint', 'auto')")

@@ -10,7 +10,8 @@ this module is what that count refers to.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from functools import lru_cache
+from typing import List, Sequence, Tuple
 
 from repro.errors import ParameterError
 from repro.ff.primality import is_prime, prime_factors
@@ -23,6 +24,34 @@ def _find_generator(q: int) -> int:
         if all(pow(g, (q - 1) // f, q) != 1 for f in factors):
             return g
     raise ParameterError(f"no generator found for {q}")  # pragma: no cover
+
+
+@lru_cache(maxsize=None)
+def bitrev_indices(n: int) -> Tuple[int, ...]:
+    """Bit-reversal permutation of [0, n) for a power-of-two n.
+
+    Built incrementally — rev(i) derives from rev(i >> 1) — so the table
+    costs O(n) integer ops instead of per-index string formatting.
+    """
+    bits = n.bit_length() - 1
+    idx = [0] * n
+    for i in range(1, n):
+        idx[i] = (idx[i >> 1] >> 1) | ((i & 1) << (bits - 1))
+    return tuple(idx)
+
+
+@lru_cache(maxsize=512)
+def _bitrev_power_table(n: int, q: int, root: int) -> Tuple[int, ...]:
+    """Powers root^0..root^(n-1) mod q in bit-reversed order, cached.
+
+    Shared by every context over the same (n, q, root) — repeated
+    ``NegacyclicNtt``/``Bfv`` construction no longer rebuilds twiddles.
+    """
+    idx = bitrev_indices(n)
+    powers = [1] * n
+    for i in range(1, n):
+        powers[i] = powers[i - 1] * root % q
+    return tuple(powers[j] for j in idx)
 
 
 class NegacyclicNtt:
@@ -47,13 +76,8 @@ class NegacyclicNtt:
         self._psis = self._bitrev_powers(self.psi)
         self._psis_inv = self._bitrev_powers(self.psi_inv)
 
-    def _bitrev_powers(self, root: int) -> List[int]:
-        n, q = self.n, self.q
-        bits = n.bit_length() - 1
-        powers = [1] * n
-        for i in range(1, n):
-            powers[i] = powers[i - 1] * root % q
-        return [powers[int(format(i, f"0{bits}b")[::-1], 2)] for i in range(n)]
+    def _bitrev_powers(self, root: int) -> Tuple[int, ...]:
+        return _bitrev_power_table(self.n, self.q, root)
 
     # -- transforms -------------------------------------------------------------
 
@@ -113,3 +137,14 @@ class NegacyclicNtt:
     def multiplications_per_transform(n: int) -> int:
         """Butterfly multiplications per length-N transform: N/2 * log2 N."""
         return (n // 2) * (n.bit_length() - 1)
+
+
+@lru_cache(maxsize=128)
+def get_ntt(n: int, q: int) -> NegacyclicNtt:
+    """Shared NTT context per (n, q).
+
+    Mirrors the PR 1 keystream-materials cache: generator search and twiddle
+    tables are computed once per parameter pair, no matter how many
+    ``Bfv``/``BatchEncoder``/RNS instances (or tests) ask for them.
+    """
+    return NegacyclicNtt(n, q)

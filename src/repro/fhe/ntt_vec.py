@@ -1,0 +1,121 @@
+"""Numpy-vectorized negacyclic NTT over a chain of NTT-friendly primes.
+
+One :class:`VecNtt` instance transforms a whole ``(L, N)`` residue matrix
+(L primes, ring degree N) per butterfly stage: each stage is a constant
+number of numpy array operations instead of ``L * N`` Python-level
+butterflies. This is the transform substrate of the RNS/CRT polynomial
+engine (:mod:`repro.fhe.rns`) — the structure BASALISC/Medha-style FHE
+datapaths use, where no multi-precision coefficient ever reaches the hot
+path.
+
+Overflow policy mirrors ``ff/prime.py``: the int64 fast path is gated on a
+per-prime predicate (a butterfly product of two reduced residues, plus the
+reduced carry headroom, must fit in a signed 64-bit integer — true for the
+default ~30-bit chains). Chains with any wider prime (up to the 60-bit
+``P60``) fall back to object-dtype numpy, which keeps the same vectorized
+shape with exact big-int elements.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.fhe.ntt import get_ntt
+
+_INT64_MAX = (1 << 63) - 1
+
+
+def butterfly_fits_int64(q: int) -> bool:
+    """True iff a twiddle product of reduced residues mod ``q`` fits int64.
+
+    Same shape as ``PrimeField``'s chunk-reduce predicate: ``(q-1)^2`` for
+    the product plus ``(q-1)`` headroom for an already-reduced addend.
+    """
+    return (q - 1) * (q - 1) + (q - 1) <= _INT64_MAX
+
+
+class VecNtt:
+    """Vectorized negacyclic NTT on ``(L, N)`` residue matrices.
+
+    Row ``i`` lives in Z_{q_i}[x]/(x^N + 1); all rows advance through each
+    Cooley-Tukey / Gentleman-Sande stage in one numpy pass. Twiddle tables
+    come from the cached scalar contexts (:func:`repro.fhe.ntt.get_ntt`),
+    so the vectorized and scalar transforms are bit-identical per prime.
+    """
+
+    def __init__(self, n: int, primes: Sequence[int]):
+        if not primes:
+            raise ParameterError("at least one prime required")
+        self.n = n
+        self.primes = tuple(int(q) for q in primes)
+        contexts = [get_ntt(n, q) for q in self.primes]  # validates each prime
+        self.dtype = np.int64 if all(butterfly_fits_int64(q) for q in self.primes) else object
+        L = len(self.primes)
+        self._q = np.array(self.primes, dtype=self.dtype).reshape(L, 1, 1)
+        self._q_col = self._q.reshape(L, 1)
+        self._psis = np.array([c._psis for c in contexts], dtype=self.dtype)
+        self._psis_inv = np.array([c._psis_inv for c in contexts], dtype=self.dtype)
+        self._n_inv = np.array([c.n_inv for c in contexts], dtype=self.dtype).reshape(L, 1)
+
+    def _check(self, mat: np.ndarray) -> np.ndarray:
+        mat = np.asarray(mat)
+        if mat.shape != (len(self.primes), self.n):
+            raise ParameterError(
+                f"expected a ({len(self.primes)}, {self.n}) residue matrix, got {mat.shape}"
+            )
+        return np.array(mat, dtype=self.dtype)
+
+    def forward(self, mat: np.ndarray) -> np.ndarray:
+        """Coefficient rows -> bit-reversed NTT rows (CT butterflies)."""
+        a = self._check(mat)
+        L, n = a.shape
+        t, m = n, 1
+        while m < n:
+            t //= 2
+            view = a.reshape(L, m, 2, t)
+            w = self._psis[:, m : 2 * m].reshape(L, m, 1)
+            u = view[:, :, 0, :]
+            v = (view[:, :, 1, :] * w) % self._q
+            total = (u + v) % self._q
+            diff = (u - v) % self._q
+            view[:, :, 0, :] = total
+            view[:, :, 1, :] = diff
+            m *= 2
+        return a
+
+    def inverse(self, mat: np.ndarray) -> np.ndarray:
+        """Bit-reversed NTT rows -> coefficient rows (GS butterflies)."""
+        a = self._check(mat)
+        L, n = a.shape
+        t, m = 1, n
+        while m > 1:
+            h = m // 2
+            view = a.reshape(L, h, 2, t)
+            w = self._psis_inv[:, h : 2 * h].reshape(L, h, 1)
+            u = view[:, :, 0, :]
+            v = view[:, :, 1, :]
+            total = (u + v) % self._q
+            diff = ((u - v) * w) % self._q
+            view[:, :, 0, :] = total
+            view[:, :, 1, :] = diff
+            t *= 2
+            m = h
+        return (a * self._n_inv) % self._q_col
+
+    def pointwise_mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Per-prime pointwise product of two (L, N) matrices."""
+        return (a * b) % self._q_col
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Negacyclic product per prime row: forward/pointwise/inverse."""
+        return self.inverse(self.pointwise_mul(self.forward(a), self.forward(b)))
+
+
+@lru_cache(maxsize=64)
+def get_vec_ntt(n: int, primes: Tuple[int, ...]) -> VecNtt:
+    """Shared vectorized NTT context per (n, prime chain)."""
+    return VecNtt(n, primes)

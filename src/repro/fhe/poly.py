@@ -95,10 +95,17 @@ class Rq:
             raise ValueError(f"expected {self.n} coefficients, got {len(coeffs)}")
         return [c % self.q for c in coeffs]
 
+    def _check_lengths(self, a: Sequence[int], b: Sequence[int]) -> None:
+        # zip() would silently truncate to the shorter operand.
+        if len(a) != len(b):
+            raise ValueError(f"operands must share the ring degree: {len(a)} vs {len(b)}")
+
     def add(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        self._check_lengths(a, b)
         return [(x + y) % self.q for x, y in zip(a, b)]
 
     def sub(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        self._check_lengths(a, b)
         return [(x - y) % self.q for x, y in zip(a, b)]
 
     def neg(self, a: Sequence[int]) -> List[int]:

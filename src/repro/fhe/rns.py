@@ -1,0 +1,315 @@
+"""RNS/CRT polynomial arithmetic for the BFV transciphering hot path.
+
+A ciphertext modulus q is chosen as a product of machine-word NTT-friendly
+primes ``q_i = 1 (mod 2N)``. Polynomials in R_q are then held as an
+``(L, N)`` residue matrix — row ``i`` is the coefficient vector mod
+``q_i`` — and every ring operation acts per-row with numpy, exactly the
+residue-arithmetic structure of hardware FHE datapaths (BASALISC's BGV
+pipeline, Medha's residue polynomial arithmetic unit): multi-precision
+integers appear only at CRT boundaries (decryption, relinearization digit
+decomposition, the BFV tensor-product scaling), never in the add/mul-plain
+hot loop.
+
+Key objects:
+
+* :func:`ntt_prime_chain` — deterministic chain of NTT-friendly primes
+  covering a requested bit width;
+* :class:`RnsContext` — conversion between big-int coefficient vectors and
+  residue matrices (+ CRT reconstruction) with a vectorized NTT attached;
+* :class:`RnsPoly` — a lazily dual-domain polynomial: the coefficient and
+  NTT ("eval") representations are each computed at most once and cached,
+  so chains of add/mul-plain stay in the eval domain and a ciphertext that
+  feeds many products is transformed a single time;
+* :func:`rns_negacyclic_mul_exact` — exact integer negacyclic product via
+  an extended prime basis (the RNS analogue of the Kronecker multiplier in
+  :mod:`repro.fhe.poly`).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.ff.primality import is_prime
+from repro.fhe.ntt_vec import VecNtt, get_vec_ntt
+
+_INT64_MAX = (1 << 63) - 1
+
+#: Default residue width: products of two reduced residues stay far below
+#: 2^63, keeping every butterfly and pointwise product on the int64 path.
+DEFAULT_PRIME_BITS = 30
+
+
+@lru_cache(maxsize=128)
+def ntt_prime_chain(n: int, min_bits: int, prime_bits: int = DEFAULT_PRIME_BITS) -> Tuple[int, ...]:
+    """Deterministic chain of distinct primes ``= 1 (mod 2N)`` whose product
+    has at least ``min_bits`` bits.
+
+    Candidates are scanned downward from ``2^prime_bits`` in steps of 2N, so
+    the chain is reproducible and every prime sits near the top of its width
+    (the product overshoots ``min_bits`` by less than one prime width).
+    """
+    if n & (n - 1) or n < 2:
+        raise ParameterError(f"N must be a power of two >= 2, got {n}")
+    if prime_bits >= 63:
+        raise ParameterError("prime_bits must stay below 63 for residue arithmetic")
+    if 2 * n >= 1 << prime_bits:
+        raise ParameterError(f"prime_bits={prime_bits} too small for 2N={2 * n}")
+    order = 2 * n
+    top = 1 << prime_bits
+    candidate = top - ((top - 1) % order)  # largest value = 1 (mod 2N) below 2^prime_bits
+    primes: List[int] = []
+    product = 1
+    while product.bit_length() < min_bits:
+        while candidate > order and not is_prime(candidate):
+            candidate -= order
+        if candidate <= order:
+            raise ParameterError(
+                f"ran out of {prime_bits}-bit primes = 1 mod {order} "
+                f"covering {min_bits} bits"
+            )
+        primes.append(candidate)
+        product *= candidate
+        candidate -= order
+    return tuple(primes)
+
+
+class RnsContext:
+    """CRT basis ``q = prod(q_i)`` with conversion and transform helpers.
+
+    The residue dtype follows the vectorized NTT's overflow predicate:
+    int64 matrices for chains of <= ~31-bit primes, object-dtype matrices
+    (exact big ints, same vectorized shape) otherwise.
+    """
+
+    def __init__(self, n: int, primes: Sequence[int]):
+        primes = tuple(int(q) for q in primes)
+        if len(set(primes)) != len(primes):
+            raise ParameterError("RNS primes must be distinct")
+        self.n = n
+        self.primes = primes
+        self.ntt: VecNtt = get_vec_ntt(n, primes)  # validates primality / 2N-friendliness
+        self.dtype = self.ntt.dtype
+        self.modulus = 1
+        for q in primes:
+            self.modulus *= q
+        # Garner-free CRT: x = sum_i ((r_i * inv_i) mod q_i) * M_i (mod M).
+        self._crt_big = [self.modulus // q for q in primes]
+        self._crt_inv = np.array(
+            [pow(m % q, q - 2, q) for m, q in zip(self._crt_big, primes)], dtype=self.dtype
+        ).reshape(len(primes), 1)
+        self._q_col = np.array(primes, dtype=self.dtype).reshape(len(primes), 1)
+
+    def __repr__(self) -> str:
+        return (
+            f"RnsContext(n={self.n}, L={len(self.primes)}, "
+            f"log2q={self.modulus.bit_length()})"
+        )
+
+    # -- conversions ------------------------------------------------------------
+
+    def to_rns(self, coeffs: Sequence[int]) -> np.ndarray:
+        """Integer coefficient vector (any magnitude/sign) -> (L, N) residues."""
+        if len(coeffs) != self.n:
+            raise ParameterError(f"expected {self.n} coefficients, got {len(coeffs)}")
+        try:
+            arr = np.asarray(coeffs, dtype=np.int64)
+        except (OverflowError, TypeError):
+            arr = np.asarray(list(coeffs), dtype=object)
+        out = np.empty((len(self.primes), self.n), dtype=self.dtype)
+        for i, q in enumerate(self.primes):
+            out[i] = arr % q
+        return out
+
+    def from_rns(self, mat: np.ndarray) -> List[int]:
+        """(L, N) residues -> coefficients in [0, q) via CRT reconstruction."""
+        small = (np.asarray(mat, dtype=self.dtype) * self._crt_inv) % self._q_col
+        acc = np.zeros(self.n, dtype=object)
+        for i, big in enumerate(self._crt_big):
+            acc += small[i].astype(object) * big
+        return [int(c) for c in acc % self.modulus]
+
+    def from_rns_centered(self, mat: np.ndarray) -> List[int]:
+        """(L, N) residues -> centered representatives in [-q/2, q/2)."""
+        half = self.modulus // 2
+        return [c - self.modulus if c > half else c for c in self.from_rns(mat)]
+
+    # -- transforms / arithmetic on raw matrices ---------------------------------
+
+    def forward(self, mat: np.ndarray) -> np.ndarray:
+        return self.ntt.forward(mat)
+
+    def inverse(self, mat: np.ndarray) -> np.ndarray:
+        return self.ntt.inverse(mat)
+
+    def mod_add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return (a + b) % self._q_col
+
+    def mod_sub(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return (a - b) % self._q_col
+
+    def mod_neg(self, a: np.ndarray) -> np.ndarray:
+        return (-a) % self._q_col
+
+    def mod_mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return (a * b) % self._q_col
+
+    def scalar_residues(self, c: int) -> np.ndarray:
+        """Column vector of ``c mod q_i`` (for broadcasting scalar ops)."""
+        return np.array([c % q for q in self.primes], dtype=self.dtype).reshape(-1, 1)
+
+
+@lru_cache(maxsize=64)
+def get_rns_context(n: int, primes: Tuple[int, ...]) -> RnsContext:
+    """Shared RNS context per (n, prime chain) — mirrors :func:`get_ntt`."""
+    return RnsContext(n, primes)
+
+
+class RnsPoly:
+    """A polynomial in R_q held as residue matrices, lazily dual-domain.
+
+    ``_coeff`` and ``_eval`` are each an (L, N) matrix or ``None``; whichever
+    is missing is computed on first demand and cached, so a ciphertext used
+    in many pointwise products pays its forward transform once, and a chain
+    of eval-domain adds/mul-plains never transforms back until a CRT
+    boundary (tensor product, relinearization digits, decryption) asks for
+    coefficients.
+    """
+
+    __slots__ = ("ctx", "_coeff", "_eval")
+
+    def __init__(
+        self,
+        ctx: RnsContext,
+        coeff: Optional[np.ndarray] = None,
+        evals: Optional[np.ndarray] = None,
+    ):
+        if coeff is None and evals is None:
+            raise ParameterError("RnsPoly needs at least one representation")
+        self.ctx = ctx
+        self._coeff = coeff
+        self._eval = evals
+
+    @classmethod
+    def from_ints(cls, ctx: RnsContext, coeffs: Sequence[int]) -> "RnsPoly":
+        return cls(ctx, coeff=ctx.to_rns(coeffs))
+
+    # -- representations ---------------------------------------------------------
+
+    def coeff_mat(self) -> np.ndarray:
+        if self._coeff is None:
+            self._coeff = self.ctx.inverse(self._eval)
+        return self._coeff
+
+    def eval_mat(self) -> np.ndarray:
+        if self._eval is None:
+            self._eval = self.ctx.forward(self._coeff)
+        return self._eval
+
+    @property
+    def domain(self) -> str:
+        """Primary domain(s) currently materialized (for tests/diagnostics)."""
+        if self._coeff is not None and self._eval is not None:
+            return "both"
+        return "coeff" if self._coeff is not None else "eval"
+
+    def to_ints(self) -> List[int]:
+        return self.ctx.from_rns(self.coeff_mat())
+
+    def centered(self) -> List[int]:
+        return self.ctx.from_rns_centered(self.coeff_mat())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RnsPoly):
+            return NotImplemented
+        return self.ctx is other.ctx and self.to_ints() == other.to_ints()
+
+    __hash__ = None  # mutable caches; equality is by value
+
+    # -- arithmetic (each op emits a single-representation result) ---------------
+
+    def _binary(self, other: "RnsPoly", op) -> "RnsPoly":
+        ctx = self.ctx
+        if self._eval is not None and other._eval is not None:
+            return RnsPoly(ctx, evals=op(self._eval, other._eval))
+        if self._coeff is not None and other._coeff is not None:
+            return RnsPoly(ctx, coeff=op(self._coeff, other._coeff))
+        # Mixed: pull both into the eval domain — the accumulator pattern of
+        # the affine layers, where the running sum must stay transform-free.
+        return RnsPoly(ctx, evals=op(self.eval_mat(), other.eval_mat()))
+
+    def add(self, other: "RnsPoly") -> "RnsPoly":
+        return self._binary(other, self.ctx.mod_add)
+
+    def sub(self, other: "RnsPoly") -> "RnsPoly":
+        return self._binary(other, self.ctx.mod_sub)
+
+    def neg(self) -> "RnsPoly":
+        if self._eval is not None:
+            return RnsPoly(self.ctx, evals=self.ctx.mod_neg(self._eval))
+        return RnsPoly(self.ctx, coeff=self.ctx.mod_neg(self._coeff))
+
+    def scalar_mul(self, c: int) -> "RnsPoly":
+        res = self.ctx.scalar_residues(c)
+        if self._eval is not None:
+            return RnsPoly(self.ctx, evals=(self._eval * res) % self.ctx._q_col)
+        return RnsPoly(self.ctx, coeff=(self._coeff * res) % self.ctx._q_col)
+
+    def mul(self, other: "RnsPoly") -> "RnsPoly":
+        """Negacyclic product mod q — always pointwise in the eval domain."""
+        return RnsPoly(self.ctx, evals=self.ctx.mod_mul(self.eval_mat(), other.eval_mat()))
+
+    def add_const(self, value: int) -> "RnsPoly":
+        """Add the constant polynomial ``value`` (NTT of a constant is flat)."""
+        res = self.ctx.scalar_residues(value)
+        if self._eval is not None:
+            return RnsPoly(self.ctx, evals=(self._eval + res) % self.ctx._q_col)
+        coeff = np.array(self._coeff, dtype=self.ctx.dtype)
+        coeff[:, 0] = (coeff[:, 0] + res[:, 0]) % self.ctx._q_col[:, 0]
+        return RnsPoly(self.ctx, coeff=coeff)
+
+
+# -- exact products over an extended basis --------------------------------------
+
+
+@lru_cache(maxsize=32)
+def _exact_basis(n: int, min_bits: int, prime_bits: int) -> RnsContext:
+    return get_rns_context(n, ntt_prime_chain(n, min_bits, prime_bits))
+
+
+def exact_product_bits(n: int, a_bound: int, b_bound: int) -> int:
+    """Bits needed to hold any coefficient of a negacyclic product exactly.
+
+    ``|c_k| <= N * a_bound * b_bound``; one extra bit covers the sign and one
+    more the d1 = cross1 + cross2 sum of the BFV tensor product.
+    """
+    return (n * a_bound * b_bound).bit_length() + 2
+
+
+def rns_negacyclic_mul_exact(
+    a: Sequence[int],
+    b: Sequence[int],
+    prime_bits: int = DEFAULT_PRIME_BITS,
+) -> List[int]:
+    """Exact signed product in Z[x]/(x^N + 1) via an extended RNS basis.
+
+    Drop-in equivalent of :func:`repro.fhe.poly.negacyclic_mul_exact`: the
+    operands are reduced into a prime chain wide enough to hold the exact
+    result, multiplied with vectorized NTTs, and CRT-reconstructed. The
+    basis width is quantized to multiples of four prime widths so repeated
+    calls at similar magnitudes share a cached context.
+    """
+    n = len(a)
+    if len(b) != n:
+        raise ParameterError(f"operands must share the ring degree: {n} vs {len(b)}")
+    a_bound = max(max((abs(int(c)) for c in a), default=0), 1)
+    b_bound = max(max((abs(int(c)) for c in b), default=0), 1)
+    bits = exact_product_bits(n, a_bound, b_bound)
+    quantum = 4 * prime_bits
+    bits = -(-bits // quantum) * quantum
+    ctx = _exact_basis(n, bits, prime_bits)
+    product = ctx.ntt.multiply(ctx.to_rns(list(a)), ctx.to_rns(list(b)))
+    return ctx.from_rns_centered(product)

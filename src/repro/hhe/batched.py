@@ -17,14 +17,14 @@ by ~B at the price of polynomially heavier plain multiplications.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from functools import lru_cache
+from typing import List, Sequence, Tuple
 
 from repro.errors import ParameterError
 from repro.fhe.batching import BatchEncoder
 from repro.fhe.bfv import Bfv, Ciphertext, PublicKey, RelinKey
 from repro.hhe.backend import BfvOpCounts
 from repro.pasta.batch import get_engine
-from repro.pasta.cipher import BlockMaterials
 from repro.pasta.params import PastaParams
 
 
@@ -72,6 +72,29 @@ class BatchedHheServer:
         #: the same stream twice never re-derives them.
         self.engine = get_engine(params)
 
+        # Prepared-plaintext LRUs keyed by the public schedule. The affine
+        # constants depend only on (nonce, counters, layer, side, row[, col]),
+        # so re-serving a schedule skips both the slot encode and — under the
+        # RNS engine — the forward NTT of every matrix/round-constant
+        # plaintext (the handle caches its eval form after first use).
+        @lru_cache(maxsize=8192)
+        def _prepared_matrix(
+            nonce: int, counters: Tuple[int, ...], layer: int, side: str, j: int, k: int
+        ):
+            per_slot = [int(self.engine.matrix(nonce, c, layer, side)[j, k]) for c in counters]
+            return self.scheme.prepare_mul_plain(self.encoder.encode(per_slot))
+
+        @lru_cache(maxsize=4096)
+        def _prepared_rc(nonce: int, counters: Tuple[int, ...], layer: int, side: str, j: int):
+            per_slot = [
+                int(getattr(self.engine.materials(nonce, [c])[0].layers[layer], f"rc_{side}")[j])
+                for c in counters
+            ]
+            return self.scheme.prepare_add_plain(self.encoder.encode(per_slot))
+
+        self._prepared_matrix = _prepared_matrix
+        self._prepared_rc = _prepared_rc
+
     # -- slot-wise circuit pieces -------------------------------------------------
 
     def _mul_const_vector(self, ct: Ciphertext, constants: Sequence[int]) -> Ciphertext:
@@ -96,17 +119,20 @@ class BatchedHheServer:
         self._ops.relins += 1
         return self.scheme.multiply(a, b, self.rlk)
 
-    def _affine(self, state, matrices, rcs):
-        """Slot-wise affine: matrices/rcs are per-block lists."""
+    def _affine(self, state, nonce: int, counters: Tuple[int, ...], layer: int, side: str):
+        """Slot-wise affine over the public schedule, via prepared handles."""
         t = len(state)
         out = []
         for j in range(t):
             acc = None
             for k in range(t):
-                per_slot = [int(m[j, k]) for m in matrices]
-                term = self._mul_const_vector(state[k], per_slot)
+                handle = self._prepared_matrix(nonce, counters, layer, side, j, k)
+                self._ops.plain_muls += 1
+                term = self.scheme.mul_plain_poly(state[k], handle)
                 acc = term if acc is None else self._add(acc, term)
-            out.append(self._add_const_vector(acc, [int(rc[j]) for rc in rcs]))
+            self._ops.plain_adds += 1
+            rc = self._prepared_rc(nonce, counters, layer, side, j)
+            out.append(self.scheme.add_plain_poly(acc, rc))
         return out
 
     def _mix(self, xl, xr):
@@ -147,27 +173,25 @@ class BatchedHheServer:
                 raise ParameterError("batched transciphering requires full t-element blocks")
 
         # One batched derivation for every block's materials; matrices are
-        # materialized through (and retained by) the engine's LRU cache.
-        block_counters = [int(c) for c in counters]
-        materials: List[BlockMaterials] = self.engine.materials(nonce, block_counters)
-
-        def mats(layer: int, side: str) -> List:
-            return [self.engine.matrix(nonce, c, layer, side) for c in block_counters]
+        # materialized through (and retained by) the engine's LRU cache, and
+        # the prepared-plaintext LRUs key off the same public schedule.
+        block_counters = tuple(int(c) for c in counters)
+        self.engine.materials(nonce, list(block_counters))
 
         self._ops = BfvOpCounts()
 
         xl = list(self.encrypted_key[:t])
         xr = list(self.encrypted_key[t:])
         for i in range(params.rounds):
-            xl = self._affine(xl, mats(i, "l"), [m.layers[i].rc_l for m in materials])
-            xr = self._affine(xr, mats(i, "r"), [m.layers[i].rc_r for m in materials])
+            xl = self._affine(xl, nonce, block_counters, i, "l")
+            xr = self._affine(xr, nonce, block_counters, i, "r")
             xl, xr = self._mix(xl, xr)
             full = xl + xr
             full = self._feistel(full) if i < params.rounds - 1 else self._cube(full)
             xl, xr = full[:t], full[t:]
         last = params.rounds
-        xl = self._affine(xl, mats(last, "l"), [m.layers[last].rc_l for m in materials])
-        xr = self._affine(xr, mats(last, "r"), [m.layers[last].rc_r for m in materials])
+        xl = self._affine(xl, nonce, block_counters, last, "l")
+        xr = self._affine(xr, nonce, block_counters, last, "r")
         xl, _ = self._mix(xl, xr)
 
         # m = c - KS, slot-wise: negate the keystream, add the per-block c_j.

@@ -47,12 +47,13 @@ class HheClient:
         pasta_params: PastaParams,
         bfv_params: BfvParams = None,
         seed: bytes = b"hhe-demo",
+        engine: str = "auto",
     ):
         self.pasta_params = pasta_params
         self.bfv_params = bfv_params or toy_parameters(pasta_params.p)
         if self.bfv_params.p != pasta_params.p:
             raise ParameterError("BFV plaintext modulus must equal the PASTA prime")
-        self.scheme = Bfv(self.bfv_params, seed=seed)
+        self.scheme = Bfv(self.bfv_params, seed=seed, engine=engine)
         self.sk, self.pk, self.rlk = self.scheme.keygen()
         self.key = random_key(pasta_params, seed)
         self.cipher = Pasta(pasta_params, self.key)

@@ -19,7 +19,8 @@ def ctx():
 class TestParams:
     def test_delta(self):
         params = toy_parameters(P, n=256, log2_q=160)
-        assert params.delta == (1 << 160) // P
+        assert params.q.bit_length() >= 160  # chain covers the requested width
+        assert params.delta == params.q // P
 
     def test_relin_parts(self):
         params = BfvParams(n=256, q=1 << 160, p=P, relin_base_bits=62)
@@ -35,7 +36,24 @@ class TestParams:
 
     def test_ciphertext_bytes(self):
         params = toy_parameters(P, n=1024, log2_q=250)
-        assert params.ciphertext_bytes == 2 * 1024 * 32  # ceil(251/8)=32
+        assert params.ciphertext_bytes == 2 * 1024 * ((params.q.bit_length() + 7) // 8)
+
+    def test_rns_default_and_bigint_escape(self):
+        rns = toy_parameters(P, n=256, log2_q=160)
+        assert rns.rns_primes and all((q - 1) % 512 == 0 for q in rns.rns_primes)
+        legacy = toy_parameters(P, n=256, log2_q=160, rns=False)
+        assert legacy.rns_primes is None and legacy.q == 1 << 160
+
+    def test_rns_primes_must_match_q(self):
+        good = toy_parameters(P, n=256, log2_q=160)
+        with pytest.raises(ParameterError):
+            BfvParams(n=256, q=good.q * 2, p=P, rns_primes=good.rns_primes)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ParameterError):
+            Bfv(toy_parameters(P, n=64, log2_q=60), engine="fpga")
+        with pytest.raises(ParameterError):
+            Bfv(toy_parameters(P, n=64, log2_q=60, rns=False), engine="rns")
 
 
 class TestEncryptDecrypt:
@@ -155,3 +173,24 @@ class TestPolyEncoding:
         plain = [7, 1, 0, 2] + [0] * 252
         ct = scheme.encrypt_poly(pk, plain)
         assert scheme.decrypt_poly(sk, ct) == plain
+
+    def test_plain_poly_length_validated(self, ctx):
+        """Wrong-length plaintexts raise instead of zip-truncating."""
+        scheme, _, pk, _ = ctx
+        ct = scheme.encrypt(pk, 5)
+        for bad in ([1, 2, 3], [0] * 257):
+            with pytest.raises(ParameterError):
+                scheme.mul_plain_poly(ct, bad)
+            with pytest.raises(ParameterError):
+                scheme.add_plain_poly(ct, bad)
+
+    def test_prepared_plain_handles(self, ctx):
+        scheme, sk, pk, _ = ctx
+        plain = [3] * scheme.params.n
+        ct = scheme.encrypt_poly(pk, [2] + [0] * (scheme.params.n - 1))
+        handle = scheme.prepare_mul_plain(plain)
+        direct = scheme.mul_plain_poly(ct, plain)
+        via_handle = scheme.mul_plain_poly(ct, handle)
+        assert scheme.decrypt_poly(sk, direct) == scheme.decrypt_poly(sk, via_handle)
+        with pytest.raises(ParameterError):
+            scheme.add_plain_poly(ct, handle)  # mul-handle in add position

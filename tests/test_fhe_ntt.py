@@ -8,7 +8,27 @@ from hypothesis import strategies as st
 
 from repro.errors import ParameterError
 from repro.ff import P17, P33, P60
-from repro.fhe import NegacyclicNtt, Rq
+from repro.fhe import NegacyclicNtt, Rq, bitrev_indices, get_ntt
+
+
+class TestBitrev:
+    @pytest.mark.parametrize("n", [2, 4, 8, 64, 1024])
+    def test_is_involution(self, n):
+        idx = bitrev_indices(n)
+        assert sorted(idx) == list(range(n))  # a permutation
+        assert all(idx[idx[i]] == i for i in range(n))
+
+    def test_matches_string_reversal(self):
+        """The integer recurrence equals the textbook binary-string reversal."""
+        for n in (8, 32, 256):
+            bits = n.bit_length() - 1
+            expected = tuple(int(format(i, f"0{bits}b")[::-1], 2) for i in range(n))
+            assert bitrev_indices(n) == expected
+
+    def test_get_ntt_caches_identity(self):
+        assert get_ntt(64, P60) is get_ntt(64, P60)
+        # Direct construction still yields an equivalent (shared-table) context.
+        assert NegacyclicNtt(64, P60)._psis is get_ntt(64, P60)._psis
 
 
 def naive_negacyclic(a, b, q):

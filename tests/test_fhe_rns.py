@@ -1,0 +1,288 @@
+"""Tests for the RNS/CRT polynomial engine.
+
+Pins the tentpole equivalences: the vectorized NTT is bit-identical to the
+scalar :class:`NegacyclicNtt` per prime, RNS-NTT products equal the exact
+Kronecker products, and BFV on the RNS engine is bit-exact against the
+scalar big-int reference engine (same seed => same keys, ciphertexts,
+decryptions and noise budgets).
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.fhe import (
+    Bfv,
+    RnsPoly,
+    butterfly_fits_int64,
+    get_ntt,
+    get_rns_context,
+    get_vec_ntt,
+    negacyclic_mul_exact,
+    ntt_prime_chain,
+    rns_negacyclic_mul_exact,
+    toy_parameters,
+)
+
+P = 65537
+
+
+# -- prime chains ----------------------------------------------------------------
+
+
+class TestPrimeChain:
+    @given(
+        n=st.sampled_from([16, 64, 256, 1024]),
+        min_bits=st.integers(min_value=20, max_value=200),
+        prime_bits=st.sampled_from([30, 40, 50, 60]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_chain_properties(self, n, min_bits, prime_bits):
+        primes = ntt_prime_chain(n, min_bits, prime_bits)
+        product = 1
+        for q in primes:
+            assert q.bit_length() <= prime_bits
+            assert (q - 1) % (2 * n) == 0
+            product *= q
+        assert len(set(primes)) == len(primes)
+        assert product.bit_length() >= min_bits
+        # Deterministic: same arguments, same chain.
+        assert primes == ntt_prime_chain(n, min_bits, prime_bits)
+
+    def test_rejects_narrow_primes(self):
+        with pytest.raises(ParameterError):
+            ntt_prime_chain(1024, 60, prime_bits=10)
+
+
+# -- residue conversion + vectorized NTT -----------------------------------------
+
+
+def _coeffs_near_primes(rnd, primes, n):
+    """Adversarial coefficients: clustered at 0, q_i - 1, and random."""
+    edges = [0, 1] + [q - 1 for q in primes] + [q // 2 for q in primes]
+    return [
+        rnd.choice(edges) if rnd.random() < 0.5 else rnd.randrange(max(primes))
+        for _ in range(n)
+    ]
+
+
+class TestRnsRoundtrip:
+    @given(
+        n=st.sampled_from([16, 64]),
+        prime_bits=st.sampled_from([30, 45, 60]),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_to_from_rns(self, n, prime_bits, seed):
+        primes = ntt_prime_chain(n, 3 * prime_bits - 5, prime_bits)
+        ctx = get_rns_context(n, primes)
+        rnd = random.Random(seed)
+        coeffs = [rnd.randrange(ctx.modulus) for _ in range(n)]
+        assert ctx.from_rns(ctx.to_rns(coeffs)) == coeffs
+
+    def test_centered_reconstruction(self):
+        ctx = get_rns_context(16, ntt_prime_chain(16, 60))
+        coeffs = [0, 1, ctx.modulus - 1, ctx.modulus // 2]  + [5] * 12
+        centered = ctx.from_rns_centered(ctx.to_rns(coeffs))
+        assert centered[0] == 0 and centered[1] == 1 and centered[2] == -1
+        assert all(-ctx.modulus // 2 <= c <= ctx.modulus // 2 for c in centered)
+
+    def test_dtype_predicate(self):
+        assert butterfly_fits_int64((1 << 30) + 1)
+        assert not butterfly_fits_int64(1 << 62)
+        assert get_vec_ntt(16, ntt_prime_chain(16, 60, 30)).dtype == np.int64
+        assert get_vec_ntt(16, ntt_prime_chain(16, 110, 60)).dtype == object
+
+
+class TestVecNttMatchesScalar:
+    @given(
+        n=st.sampled_from([16, 64]),
+        prime_bits=st.sampled_from([30, 60]),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_forward_inverse_per_prime(self, n, prime_bits, seed):
+        primes = ntt_prime_chain(n, 2 * prime_bits - 3, prime_bits)
+        vec = get_vec_ntt(n, primes)
+        rnd = random.Random(seed)
+        rows = [[rnd.randrange(q) for _ in range(n)] for q in primes]
+        fwd = vec.forward(rows)
+        inv = vec.inverse(fwd)
+        for i, q in enumerate(primes):
+            scalar = get_ntt(n, q)
+            assert [int(c) for c in fwd[i]] == scalar.forward(rows[i])
+            assert [int(c) for c in inv[i]] == rows[i]
+
+    @given(
+        n=st.sampled_from([16, 64]),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_multiply_per_prime(self, n, seed):
+        primes = ntt_prime_chain(n, 58, 30)
+        vec = get_vec_ntt(n, primes)
+        rnd = random.Random(seed)
+        a = [[rnd.randrange(q) for _ in range(n)] for q in primes]
+        b = [[rnd.randrange(q) for _ in range(n)] for q in primes]
+        prod = vec.multiply(np.array(a), np.array(b))
+        for i, q in enumerate(primes):
+            assert [int(c) for c in prod[i]] == get_ntt(n, q).multiply(a[i], b[i])
+
+
+# -- the three-way multiply equivalence (satellite) -------------------------------
+
+
+class TestMultiplyEquivalence:
+    """RNS-NTT multiply == negacyclic_mul_exact == scalar NegacyclicNtt.multiply."""
+
+    @given(
+        prime_bits=st.sampled_from([30, 40, 50, 60]),
+        seed=st.integers(min_value=0, max_value=100_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_n16(self, prime_bits, seed):
+        self._check(16, prime_bits, seed)
+
+    @given(
+        prime_bits=st.sampled_from([30, 60]),
+        seed=st.integers(min_value=0, max_value=100_000),
+    )
+    @settings(max_examples=4, deadline=None)
+    def test_n1024(self, prime_bits, seed):
+        self._check(1024, prime_bits, seed)
+
+    def _check(self, n, prime_bits, seed):
+        primes = ntt_prime_chain(n, 2 * prime_bits - 3, prime_bits)
+        ctx = get_rns_context(n, primes)
+        rnd = random.Random(seed)
+        a = _coeffs_near_primes(rnd, primes, n)
+        b = _coeffs_near_primes(rnd, primes, n)
+
+        # 1. RNS pointwise product mod q (via RnsPoly).
+        pa, pb = RnsPoly.from_ints(ctx, a), RnsPoly.from_ints(ctx, b)
+        rns_mod_q = pa.mul(pb).to_ints()
+
+        # 2. Exact integer product, then reduced mod q.
+        exact = negacyclic_mul_exact(a, b)
+        assert rns_mod_q == [c % ctx.modulus for c in exact]
+
+        # 3. Extended-basis exact RNS product == Kronecker exact product.
+        assert rns_negacyclic_mul_exact(a, b, prime_bits=30) == exact
+
+        # 4. Scalar NTT multiply, prime by prime.
+        for q in primes:
+            assert get_ntt(n, q).multiply([c % q for c in a], [c % q for c in b]) == [
+                c % q for c in exact
+            ]
+
+
+# -- lazy dual-domain behavior ----------------------------------------------------
+
+
+class TestRnsPolyLaziness:
+    def _ctx(self):
+        return get_rns_context(16, ntt_prime_chain(16, 58))
+
+    def test_eval_stays_eval(self):
+        ctx = self._ctx()
+        a = RnsPoly.from_ints(ctx, list(range(16)))
+        b = RnsPoly.from_ints(ctx, list(range(1, 17)))
+        prod = a.mul(b)
+        assert prod.domain == "eval"
+        chained = prod.add(a.mul(a)).scalar_mul(7).add_const(3)
+        assert chained.domain == "eval"  # no inverse transform happened yet
+
+    def test_coeff_stays_coeff(self):
+        ctx = self._ctx()
+        a = RnsPoly.from_ints(ctx, list(range(16)))
+        b = RnsPoly.from_ints(ctx, [1] * 16)
+        assert a.add(b).domain == "coeff"
+        assert a.neg().domain == "coeff"
+
+    def test_representations_cached(self):
+        ctx = self._ctx()
+        a = RnsPoly.from_ints(ctx, list(range(16)))
+        assert a.domain == "coeff"
+        a.eval_mat()
+        assert a.domain == "both"
+
+    def test_arithmetic_matches_bigint(self):
+        ctx = self._ctx()
+        q = ctx.modulus
+        rnd = random.Random(11)
+        av = [rnd.randrange(q) for _ in range(16)]
+        bv = [rnd.randrange(q) for _ in range(16)]
+        a, b = RnsPoly.from_ints(ctx, av), RnsPoly.from_ints(ctx, bv)
+        assert a.add(b).to_ints() == [(x + y) % q for x, y in zip(av, bv)]
+        assert a.sub(b).to_ints() == [(x - y) % q for x, y in zip(av, bv)]
+        assert a.neg().to_ints() == [(-x) % q for x in av]
+        assert a.scalar_mul(12345).to_ints() == [x * 12345 % q for x in av]
+        expected = list(av)
+        expected[0] = (expected[0] + 999) % q
+        assert a.add_const(999).to_ints() == expected
+        # add_const on an eval-domain poly (flat constant path)
+        ae = a.mul(RnsPoly.from_ints(ctx, [1] + [0] * 15))
+        assert ae.add_const(999).to_ints() == expected
+
+
+# -- engine parity on the full scheme ---------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def parity():
+    params = toy_parameters(P, n=64, log2_q=120)
+    rns = Bfv(params, seed=b"parity", engine="rns")
+    ref = Bfv(params, seed=b"parity", engine="bigint")
+    return params, rns, ref
+
+
+class TestEngineParity:
+    def test_engine_selection(self, parity):
+        _, rns, ref = parity
+        assert rns.engine_name == "rns" and ref.engine_name == "bigint"
+        assert Bfv(parity[0], seed=b"x").engine_name == "rns"  # auto
+
+    def test_full_protocol_bit_exact(self, parity):
+        params, rns, ref = parity
+        sk_a, pk_a, rlk_a = rns.keygen()
+        sk_b, pk_b, rlk_b = ref.keygen()
+        assert rns.engine.to_ints(sk_a.s) == ref.engine.to_ints(sk_b.s)
+        assert rns.engine.to_ints(pk_a.b) == ref.engine.to_ints(pk_b.b)
+        for (ba, aa), (bb, ab) in zip(rlk_a.parts, rlk_b.parts):
+            assert rns.engine.to_ints(ba) == ref.engine.to_ints(bb)
+            assert rns.engine.to_ints(aa) == ref.engine.to_ints(ab)
+
+        ct_a = rns.encrypt(pk_a, 1234)
+        ct_b = ref.encrypt(pk_b, 1234)
+        assert [rns.engine.to_ints(p) for p in ct_a.parts] == [
+            ref.engine.to_ints(p) for p in ct_b.parts
+        ]
+
+        sq_a = rns.square(ct_a, rlk_a)
+        sq_b = ref.square(ct_b, rlk_b)
+        assert [rns.engine.to_ints(p) for p in sq_a.parts] == [
+            ref.engine.to_ints(p) for p in sq_b.parts
+        ]
+        assert rns.decrypt(sk_a, sq_a) == pow(1234, 2, P) == ref.decrypt(sk_b, sq_b)
+        # ISSUE criterion: noise budget within 1 bit — bit-exact, so exactly 0.
+        assert rns.noise_budget_bits(sk_a, sq_a) == ref.noise_budget_bits(sk_b, sq_b)
+
+    def test_plain_poly_ops_bit_exact(self, parity):
+        params, rns, ref = parity
+        sk_a, pk_a, _ = rns.keygen()
+        sk_b, pk_b, _ = ref.keygen()
+        rnd = random.Random(5)
+        plain = [rnd.randrange(P) for _ in range(params.n)]
+        msg = [rnd.randrange(P) for _ in range(params.n)]
+        ct_a = rns.encrypt_poly(pk_a, msg)
+        ct_b = ref.encrypt_poly(pk_b, msg)
+        out_a = rns.add_plain_poly(rns.mul_plain_poly(ct_a, plain), plain)
+        out_b = ref.add_plain_poly(ref.mul_plain_poly(ct_b, plain), plain)
+        assert [rns.engine.to_ints(p) for p in out_a.parts] == [
+            ref.engine.to_ints(p) for p in out_b.parts
+        ]
+        assert rns.decrypt_poly(sk_a, out_a) == ref.decrypt_poly(sk_b, out_b)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ParameterError
-from repro.fhe import Bfv, BfvParams
+from repro.fhe import Bfv, toy_parameters
 from repro.fhe.batching import BatchEncoder
 from repro.hhe import BatchedHheServer, decrypt_batched_result, encrypt_key_batched
 from repro.pasta import PASTA_MICRO, Pasta, random_key
@@ -13,7 +13,7 @@ P = PASTA_MICRO.p
 
 @pytest.fixture(scope="module")
 def ctx():
-    bfv = BfvParams(n=256, q=1 << 230, p=P)
+    bfv = toy_parameters(P, n=256, log2_q=230)  # RNS engine, the default path
     scheme = Bfv(bfv, seed=b"batch-tests")
     sk, pk, rlk = scheme.keygen()
     encoder = BatchEncoder(bfv.n, P)
