@@ -6,11 +6,85 @@ Usage::
     python -m repro table2               # print one experiment
     python -m repro all                  # print everything
     python -m repro report [PATH]        # (re)write EXPERIMENTS.md
+    python -m repro service [options]    # run the streaming pipeline demo
+
+service options (all optional)::
+
+    --frames N        frames to stream (default 128)
+    --workers N       recovery workers (default 4)
+    --drop-rate R     injected uplink drop probability (default 0.0)
+    --corrupt-rate R  injected corruption probability (default 0.0)
+    --mode M          symmetric | hhe (default symmetric)
+    --json            emit the metrics snapshot as JSON instead of a summary
 """
 
 from __future__ import annotations
 
 import sys
+
+
+def service_main(argv) -> int:
+    """Run the streaming transciphering service once and report metrics."""
+    import json
+
+    from repro.obs import MetricsRegistry
+    from repro.pasta.params import PASTA_MICRO, PASTA_TOY
+    from repro.service import FaultPlan, ServiceConfig, StreamingPipeline, TILE8
+    from repro.apps.video import Resolution
+
+    opts = {"frames": 128, "workers": 4, "drop-rate": 0.0, "corrupt-rate": 0.0,
+            "mode": "symmetric", "json": False}
+    it = iter(argv)
+    for arg in it:
+        name = arg.lstrip("-")
+        if name == "json":
+            opts["json"] = True
+        elif name in ("frames", "workers"):
+            opts[name] = int(next(it))
+        elif name in ("drop-rate", "corrupt-rate"):
+            opts[name] = float(next(it))
+        elif name == "mode":
+            opts["mode"] = next(it)
+        else:
+            print(f"unknown service option {arg!r}", file=sys.stderr)
+            return 2
+
+    hhe = opts["mode"] == "hhe"
+    config = ServiceConfig(
+        params=PASTA_MICRO if hhe else PASTA_TOY,
+        resolution=Resolution("TILE4", 4, 4) if hhe else TILE8,
+        n_frames=opts["frames"],
+        n_workers=opts["workers"],
+        batch_frames=4 if hhe else 32,
+        worker_batch=4 if hhe else 32,
+        queue_capacity=128,
+        mode=opts["mode"],
+    )
+    plan = FaultPlan(seed=1, drop_rate=opts["drop-rate"], corrupt_rate=opts["corrupt-rate"])
+    registry = MetricsRegistry()
+    result = StreamingPipeline(config, plan, registry=registry).run()
+
+    if opts["json"]:
+        print(json.dumps({"fps": result.fps, "frames": len(result.frames),
+                          "metrics": result.metrics}, indent=2))
+        return 0
+    retried = sum(1 for n in result.attempts.values() if n > 1)
+    print(f"streaming service ({config.mode}, {config.params.name}, "
+          f"{config.resolution.name}, {config.n_workers} workers)")
+    print(f"  frames recovered  {len(result.frames)}/{config.n_frames}")
+    print(f"  sustained rate    {result.fps:.1f} frames/s over {result.duration_seconds:.2f}s")
+    print(f"  frames retried    {retried}")
+    for name in ("service.uplink.dropped", "service.crc.rejected", "service.retries",
+                 "service.frames.duplicate", "service.degradation.steps"):
+        value = result.metrics.get(name, {}).get("value", 0)
+        print(f"  {name:<26} {value}")
+    for stage in ("service.encrypt.seconds", "service.recover.seconds",
+                  "service.frame_latency.seconds"):
+        hist = result.metrics.get(stage)
+        if hist and hist["count"]:
+            print(f"  {stage:<30} p50 {hist['p50'] * 1e3:7.2f} ms   "
+                  f"p99 {hist['p99'] * 1e3:7.2f} ms")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -23,6 +97,8 @@ def main(argv=None) -> int:
         return 0
 
     command = argv[0]
+    if command == "service":
+        return service_main(argv[1:])
     if command == "report":
         from repro.eval.report import main as report_main
 

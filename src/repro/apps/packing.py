@@ -37,13 +37,23 @@ def pack_pixels(pixels: Sequence[int], p: int) -> List[int]:
 
 
 def unpack_pixels(elements: Sequence[int], p: int, n_pixels: int) -> List[int]:
-    """Inverse of :func:`pack_pixels` for a known pixel count."""
+    """Inverse of :func:`pack_pixels` for a known pixel count.
+
+    The element count must match ``n_pixels`` exactly: trailing elements
+    beyond the pixel payload are rejected rather than silently ignored —
+    on the receive path they mean a framing bug (or junk appended to the
+    wire image), not data this function may discard.
+    """
     per = pixels_per_element(p)
+    expected = -(-n_pixels // per) if n_pixels else 0
+    if len(elements) != expected:
+        raise ParameterError(
+            f"{n_pixels} pixels occupy exactly {expected} elements at {per}/element, "
+            f"got {len(elements)}"
+        )
     out: List[int] = []
     for index, value in enumerate(elements):
         remaining = min(per, n_pixels - index * per)
-        if remaining <= 0:
-            break
         if not 0 <= value < p:
             raise ParameterError(f"element {value} not reduced mod {p}")
         chunk = [(value >> (8 * (remaining - 1 - i))) & 0xFF for i in range(remaining)]

@@ -24,14 +24,17 @@ working code, not just arithmetic.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.apps.packing import pack_pixels, pixels_per_element, unpack_pixels
-from repro.errors import ParameterError
-from repro.keccak.shake import shake128
+from repro.errors import NonceReuseError, ParameterError
+from repro.keccak.shake import SHAKE128_RATE_BYTES, shake128
+from repro.keccak.vectorized import batched_shake128
+from repro.obs import get_registry
 from repro.pasta.cipher import Pasta
 from repro.pasta.params import PASTA_4, PastaParams
 
@@ -151,6 +154,60 @@ def transcipher_blocks_per_frame(
     return -(-elements // params.t)
 
 
+# -- nonce management -----------------------------------------------------------
+
+#: Largest nonce the PASTA block-seed encoding can carry (64-bit field in
+#: :func:`repro.pasta.xof.encode_block_seed`).
+MAX_NONCE = 2**64 - 1
+
+
+class NonceSequence:
+    """Thread-safe monotonic nonce allocator for a streaming sender.
+
+    PASTA keystream is a pure function of (key, nonce, counter): re-using a
+    nonce for two different frames XOR-equivalently leaks their difference.
+    Frame producers therefore never pick nonces by hand — they draw from a
+    sequence that only moves forward. Exhausting the 64-bit space (or an
+    explicitly configured sub-range) raises :class:`NonceReuseError`
+    instead of wrapping around, and there is deliberately no ``reset()``:
+    a new key gets a new sequence object.
+    """
+
+    def __init__(self, start: int = 0, limit: int = MAX_NONCE):
+        if not 0 <= start <= limit <= MAX_NONCE:
+            raise ParameterError(
+                f"nonce range [{start}, {limit}] not within [0, {MAX_NONCE}]"
+            )
+        self._lock = threading.Lock()
+        self._next = start
+        self._limit = limit
+        self._issued = 0
+
+    def next(self) -> int:
+        """Issue the next unused nonce; raise on exhaustion, never wrap."""
+        with self._lock:
+            if self._next > self._limit:
+                raise NonceReuseError(
+                    f"nonce space exhausted at {self._limit}: issuing another "
+                    "nonce would wrap around and repeat keystream"
+                )
+            value = self._next
+            self._next += 1
+            self._issued += 1
+            return value
+
+    @property
+    def issued(self) -> int:
+        """How many nonces this sequence has handed out."""
+        with self._lock:
+            return self._issued
+
+    @property
+    def remaining(self) -> int:
+        with self._lock:
+            return self._limit - self._next + 1
+
+
 # -- functional pipeline --------------------------------------------------------
 
 
@@ -158,6 +215,28 @@ def synthetic_frame(resolution: Resolution, seed: int = 0) -> List[int]:
     """Deterministic pseudo-random grayscale frame (SHAKE-derived)."""
     stream = shake128(b"frame|" + seed.to_bytes(8, "big") + resolution.name.encode())
     return list(stream.read(resolution.pixels))
+
+
+def synthetic_frames_batch(resolution: Resolution, seeds: Sequence[int]) -> np.ndarray:
+    """Many synthetic frames in one vectorized SHAKE pass.
+
+    Returns a ``(len(seeds), resolution.pixels)`` uint8 array whose row i
+    is bit-exact with ``synthetic_frame(resolution, seeds[i])`` — the
+    batched sponge squeezes little-endian lane bytes, the same stream the
+    scalar :class:`~repro.keccak.shake.Shake` reads.
+    """
+    if len(seeds) == 0:
+        return np.zeros((0, resolution.pixels), dtype=np.uint8)
+    suffix = resolution.name.encode()
+    shake = batched_shake128(
+        [b"frame|" + int(seed).to_bytes(8, "big") + suffix for seed in seeds]
+    )
+    n_blocks = -(-resolution.pixels // SHAKE128_RATE_BYTES)
+    chunks = [
+        shake.squeeze_words_block().view(np.uint8).reshape(len(seeds), -1)
+        for _ in range(n_blocks)
+    ]
+    return np.concatenate(chunks, axis=1)[:, : resolution.pixels]
 
 
 @dataclass
@@ -169,12 +248,13 @@ class FrameRunResult:
     n_blocks: int
     ciphertext_bytes: int
     ok_roundtrip: bool
+    nonce: int = 0  #: the nonce actually consumed (matters when drawn from a sequence)
 
 
 def encrypt_frame(
     cipher: Pasta,
     resolution: Resolution,
-    nonce: int,
+    nonce: Union[int, NonceSequence],
     seed: int = 0,
     allow_nonce_reuse: bool = False,
 ) -> FrameRunResult:
@@ -184,20 +264,32 @@ def encrypt_frame(
     ``ciphertext_bytes`` is the measured size of real data, not a formula.
     A frame spans many blocks, so the encrypt side runs on the batched
     keystream engine (one vectorized pass per frame instead of one scalar
-    derivation per block). ``allow_nonce_reuse`` forwards to
-    :meth:`Pasta.encrypt` — only set it when deliberately re-encrypting the
-    same frame (e.g. benchmark repetitions).
+    derivation per block).
+
+    ``nonce`` is either an explicit integer or a :class:`NonceSequence` to
+    draw from; streaming senders should pass a sequence so every frame —
+    including retries of dropped frames — consumes a fresh nonce.
+    ``allow_nonce_reuse`` forwards to :meth:`Pasta.encrypt` — only set it
+    when deliberately re-encrypting the same frame (e.g. benchmark
+    repetitions), and never together with a sequence.
     """
     from repro.pasta.encoding import deserialize_ciphertext, serialize_ciphertext
 
+    if isinstance(nonce, NonceSequence):
+        if allow_nonce_reuse:
+            raise ParameterError("allow_nonce_reuse is meaningless with a NonceSequence")
+        nonce = nonce.next()
+    obs = get_registry()
     params = cipher.params
-    pixels = synthetic_frame(resolution, seed)
-    elements = pack_pixels(pixels, params.p)
-    ciphertext = cipher.encrypt(elements, nonce, allow_nonce_reuse=allow_nonce_reuse)
-    wire = serialize_ciphertext(ciphertext, params.p)
-    received = deserialize_ciphertext(wire, params.p, len(elements))
-    recovered_elements = cipher.decrypt(received, nonce)
-    recovered = unpack_pixels([int(e) for e in recovered_elements], params.p, len(pixels))
+    with obs.span("video.encrypt_frame.seconds"):
+        pixels = synthetic_frame(resolution, seed)
+        elements = pack_pixels(pixels, params.p)
+        ciphertext = cipher.encrypt(elements, nonce, allow_nonce_reuse=allow_nonce_reuse)
+        wire = serialize_ciphertext(ciphertext, params.p)
+        received = deserialize_ciphertext(wire, params.p, len(elements))
+        recovered_elements = cipher.decrypt(received, nonce)
+        recovered = unpack_pixels([int(e) for e in recovered_elements], params.p, len(pixels))
+    obs.counter("video.frames_encrypted").inc()
     n_blocks = -(-len(elements) // params.t)
     return FrameRunResult(
         resolution=resolution,
@@ -205,6 +297,7 @@ def encrypt_frame(
         n_blocks=n_blocks,
         ciphertext_bytes=len(wire),
         ok_roundtrip=recovered == pixels,
+        nonce=nonce,
     )
 
 

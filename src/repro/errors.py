@@ -17,6 +17,24 @@ class NoiseBudgetExhausted(ReproError):
     """A BFV ciphertext no longer decrypts correctly (noise overflow)."""
 
 
+class NonceReuseError(ReproError):
+    """A (nonce, counter) keystream window would be consumed twice.
+
+    Raised by the nonce sequencers in :mod:`repro.apps.video` and the
+    streaming service when a monotonic nonce counter wraps around or a
+    caller tries to rewind it — continuing would repeat keystream and leak
+    plaintext differences.
+    """
+
+
+class ServiceError(ReproError):
+    """The streaming transciphering service reached an invalid state."""
+
+
+class UplinkError(ServiceError):
+    """A frame was lost or mangled on the modeled uplink (drop/corrupt)."""
+
+
 class SimulationError(ReproError):
     """The hardware/SoC simulation reached an inconsistent state."""
 

@@ -190,6 +190,14 @@ class RnsEngine:
     # -- CRT-boundary operations ---------------------------------------------------
 
     def tensor_scale(self, a_parts: Sequence[Any], b_parts: Sequence[Any]) -> List[Any]:
+        from repro.obs import get_registry
+
+        obs = get_registry()
+        obs.counter("fhe.tensor_scale.calls").inc()
+        with obs.span("fhe.tensor_scale.seconds"):
+            return self._tensor_scale(a_parts, b_parts)
+
+    def _tensor_scale(self, a_parts: Sequence[Any], b_parts: Sequence[Any]) -> List[Any]:
         ext = self.ext
         fa = [ext.forward(ext.to_rns(p.centered())) for p in a_parts]
         fb = fa if b_parts is a_parts else [ext.forward(ext.to_rns(p.centered())) for p in b_parts]

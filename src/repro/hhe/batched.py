@@ -162,6 +162,19 @@ class BatchedHheServer:
         ``(nonce, counters[b])``. Slot b of output ciphertext j encrypts
         message element j of block b.
         """
+        from repro.obs import get_registry
+
+        obs = get_registry()
+        obs.counter("hhe.transcipher.blocks").inc(len(counters))
+        with obs.span("hhe.transcipher.seconds"):
+            return self._transcipher_blocks(ciphertext_blocks, nonce, counters)
+
+    def _transcipher_blocks(
+        self,
+        ciphertext_blocks: Sequence[Sequence[int]],
+        nonce: int,
+        counters: Sequence[int],
+    ) -> BatchedTranscipherResult:
         params = self.params
         t = params.t
         if len(ciphertext_blocks) != len(counters):

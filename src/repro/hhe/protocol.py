@@ -19,7 +19,7 @@ pure-Python BFV finishes in seconds (see DESIGN.md Sec. 2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -39,13 +39,20 @@ class TranscipherResult:
     ops: BfvOpCounts
 
 
+#: Domain-separation tags for the client's two independent secrets. The FHE
+#: secret key and the PASTA key must never derive from the same entropy
+#: stream: leaking either one must not compromise the other.
+FHE_SEED_DOMAIN = b"hhe-v1-fhe-keygen|"
+PASTA_SEED_DOMAIN = b"hhe-v1-pasta-key|"
+
+
 class HheClient:
     """Client side: symmetric encryption + one-time FHE key encapsulation."""
 
     def __init__(
         self,
         pasta_params: PastaParams,
-        bfv_params: BfvParams = None,
+        bfv_params: Optional[BfvParams] = None,
         seed: bytes = b"hhe-demo",
         engine: str = "auto",
     ):
@@ -53,9 +60,11 @@ class HheClient:
         self.bfv_params = bfv_params or toy_parameters(pasta_params.p)
         if self.bfv_params.p != pasta_params.p:
             raise ParameterError("BFV plaintext modulus must equal the PASTA prime")
-        self.scheme = Bfv(self.bfv_params, seed=seed, engine=engine)
+        # One master seed feeds two domain-separated derivations, so the
+        # FHE and PASTA secrets are distinct streams even for equal seeds.
+        self.scheme = Bfv(self.bfv_params, seed=FHE_SEED_DOMAIN + seed, engine=engine)
         self.sk, self.pk, self.rlk = self.scheme.keygen()
-        self.key = random_key(pasta_params, seed)
+        self.key = random_key(pasta_params, PASTA_SEED_DOMAIN + seed)
         self.cipher = Pasta(pasta_params, self.key)
 
     def encrypted_key(self) -> List[Ciphertext]:

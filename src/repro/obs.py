@@ -1,0 +1,261 @@
+"""Lightweight observability: counters, gauges, latency histograms, spans.
+
+The streaming service (:mod:`repro.service`) and the hot paths it crosses
+(batched keystream engine, RNS polynomial engine, batched HHE server,
+video app) all report into one process-wide :class:`MetricsRegistry`.
+Design constraints, in order:
+
+1. **Cheap.** A counter increment is a lock + integer add; a histogram
+   observation appends to a bounded reservoir. Nothing allocates per
+   sample beyond the float being stored, so instrumenting a per-batch hot
+   path does not perturb what it measures.
+2. **Thread-safe.** The pipeline's producer, worker pool, and sink all
+   report concurrently; each metric carries its own lock.
+3. **Exportable.** ``registry.snapshot()`` is plain JSON-able data — the
+   service benchmark dumps it into ``BENCH_service_pipeline.json`` and the
+   CLI renders it after a run.
+
+Metric names are dotted strings (``"service.transcipher.seconds"``); the
+registry creates metrics on first use so call sites never need wiring.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+]
+
+#: Histogram reservoir bound. Beyond this many samples the histogram keeps
+#: summary statistics exact (count/sum/min/max) and percentiles approximate
+#: via systematic subsampling — adequate for latency reporting.
+DEFAULT_RESERVOIR = 4096
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (queue depth, in-flight frames, ...).
+
+    Tracks the running maximum alongside the current value so saturation
+    is visible after the fact without sampling the gauge on a timer.
+    """
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._max = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+            if value > self._max:
+                self._max = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+            if self._value > self._max:
+                self._max = self._value
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    @property
+    def max(self) -> float:
+        with self._lock:
+            return self._max
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {"type": "gauge", "value": self._value, "max": self._max}
+
+
+class Histogram:
+    """Latency/size distribution with exact moments and sampled percentiles.
+
+    Observations land in a bounded reservoir; once full, every k-th sample
+    is kept (systematic subsampling) so long benchmark runs stay O(1) in
+    memory while count/sum/min/max remain exact.
+    """
+
+    def __init__(self, name: str, help: str = "", reservoir: int = DEFAULT_RESERVOIR):
+        if reservoir < 1:
+            raise ValueError(f"histogram {name} needs a positive reservoir size")
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._reservoir = reservoir
+        self._samples: List[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._stride = 1
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+            if self._count % self._stride == 0:
+                self._samples.append(value)
+                if len(self._samples) >= self._reservoir:
+                    # Thin the reservoir: keep every other sample, double
+                    # the stride for future observations.
+                    self._samples = self._samples[::2]
+                    self._stride *= 2
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (0 <= q <= 100) of the sampled distribution."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            ordered = sorted(self._samples)
+            # Nearest-rank on the reservoir; min/max stay exact.
+            rank = min(len(ordered) - 1, max(0, round(q / 100.0 * (len(ordered) - 1))))
+            return ordered[rank]
+
+    def summary(self) -> Dict[str, float]:
+        with self._lock:
+            count, total = self._count, self._sum
+        return {
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            "min": self._min if self._min is not None else 0.0,
+            "max": self._max if self._max is not None else 0.0,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+    def snapshot(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"type": "histogram"}
+        out.update(self.summary())
+        return out
+
+
+class MetricsRegistry:
+    """Process-wide named metrics, created on first use."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, factory, kind):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as {type(metric).__name__}"
+                )
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, lambda: Counter(name, help), Counter)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, lambda: Gauge(name, help), Gauge)
+
+    def histogram(self, name: str, help: str = "", reservoir: int = DEFAULT_RESERVOIR) -> Histogram:
+        return self._get(name, lambda: Histogram(name, help, reservoir), Histogram)
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time a block into the histogram ``name`` (seconds)."""
+        hist = self.histogram(name)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            hist.observe(time.perf_counter() - start)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-able view of every metric."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        return {name: metric.snapshot() for name, metric in sorted(metrics.items())}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def reset(self) -> None:
+        """Drop every metric (tests and benchmark isolation)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry (returns the previous one)."""
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = registry
+    return previous

@@ -4,6 +4,7 @@ from repro.pasta.batch import (
     KeystreamEngine,
     batched_sequential_matrices,
     generate_block_materials_batch,
+    generate_block_materials_pairs,
     get_engine,
 )
 from repro.pasta.cipher import (
@@ -64,6 +65,7 @@ __all__ = [
     "encode_block_seed",
     "generate_block_materials",
     "generate_block_materials_batch",
+    "generate_block_materials_pairs",
     "get_engine",
     "pack_elements",
     "serialize_ciphertext",

@@ -12,8 +12,9 @@ overlaps XOF squeezing, rejection sampling, and MatMul across blocks:
   Keccak-f[1600] (:mod:`repro.keccak.vectorized`) — one ``(N, 25)``
   permutation replaces N scalar ones.
 * **Sampling**: whole ``(N, W)`` word matrices are masked and filtered at
-  once (paper Sec. IV-B); only the variable-length take of accepted words
-  is per-lane, and that is a numpy index operation, not a word loop.
+  once (paper Sec. IV-B), and the variable-length take of accepted words
+  runs across *all* lanes in one cumulative-count pass — no Python loop
+  over lanes anywhere on the sampling path.
 * **MatGen / MatMul**: the sequential-matrix recurrence and the affine
   layers run across the batch axis (``einsum`` with overflow-safe
   accumulation from :meth:`repro.ff.prime.PrimeField.batched_mat_vec`).
@@ -47,6 +48,7 @@ from repro.pasta.xof import encode_block_seed
 __all__ = [
     "KeystreamEngine",
     "generate_block_materials_batch",
+    "generate_block_materials_pairs",
     "batched_sequential_matrices",
     "get_engine",
     "DEFAULT_CACHE_BLOCKS",
@@ -66,8 +68,7 @@ class _BatchWordStream:
     what each lane reads.
     """
 
-    def __init__(self, params: PastaParams, nonce: int, counters: Sequence[int]):
-        seeds = [encode_block_seed(params, nonce, int(c)) for c in counters]
+    def __init__(self, seeds: Sequence[bytes]):
         self._shake = batched_shake128(seeds)
         self.n = len(seeds)
         self.rate_words = self._shake.rate_words
@@ -83,84 +84,102 @@ class _BatchWordStream:
         new = [self._shake.squeeze_words_block() for _ in range(blocks)]
         self._buf = np.concatenate([self._buf, *new], axis=1)
 
-    def remaining(self, lane: int) -> np.ndarray:
-        return self._buf[lane, self.pos[lane] :]
+    def words(self) -> np.ndarray:
+        """The full ``(N, W)`` buffer (consumed words included)."""
+        return self._buf
 
 
-def _sample_lane(
-    stream: _BatchWordStream,
-    sampler,
-    lane: int,
-    count: int,
-    min_value: int,
-) -> Tuple[np.ndarray, int]:
-    """Draw ``count`` accepted candidates for one lane; returns (values, rejected).
+def _sample_draw(
+    stream: _BatchWordStream, sampler, count: int, min_value: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Draw ``count`` accepted candidates on *every* lane at once.
 
-    Identical decisions to ``RejectionSampler.sample`` on the lane's scalar
-    word stream, but the mask/compare runs as one numpy pass over the
-    lane's buffered words.
+    Returns ``(values, rejected)`` with shapes ``(N, count)`` and ``(N,)``.
+    The decisions are identical to running ``RejectionSampler.sample`` on
+    each lane's scalar word stream: a lane's draw starts at its private
+    consumption pointer and takes its first ``count`` accepted words. The
+    take itself is one cumulative-count pass over the whole ``(N, W)``
+    buffer — no per-lane Python loop.
     """
     while True:
-        words = stream.remaining(lane)
-        values, ok = sampler.candidates_batch(words, min_value)
-        idx = np.flatnonzero(ok)
-        if idx.shape[0] >= count:
-            take = idx[:count]
-            consumed = int(take[-1]) + 1
-            stream.pos[lane] += consumed
-            return values[take], consumed - count
-        # Not enough accepted words buffered yet — squeeze another batch
-        # for every lane (lanes are in lockstep; extra words stay buffered).
+        values, ok = sampler.candidates_batch(stream.words(), min_value)
+        # Mask out words each lane already consumed, then rank the rest.
+        avail = ok & (np.arange(stream.capacity)[None, :] >= stream.pos[:, None])
+        cum = np.cumsum(avail, axis=1)
+        if stream.capacity and int(cum[:, -1].min()) >= count:
+            break
+        # Some lane is short on accepted words — squeeze another batch for
+        # every lane (lanes are in lockstep; extra words stay buffered).
         stream.grow()
+    take = avail & (cum <= count)
+    lane_idx, word_idx = np.nonzero(take)  # row-major: lane-grouped, ascending
+    out = values[lane_idx, word_idx].reshape(stream.n, count)
+    ends = word_idx.reshape(stream.n, count)[:, -1] + 1
+    rejected = ends - stream.pos - count
+    stream.pos = ends.astype(np.intp)
+    return out, rejected
 
 
-def generate_block_materials_batch(
-    params: PastaParams, nonce: int, counters: Sequence[int]
-) -> List[BlockMaterials]:
-    """Batched :func:`repro.pasta.cipher.generate_block_materials`.
+def _derive_layer_arrays(
+    params: PastaParams, pairs: Sequence[Tuple[int, int]]
+) -> Tuple[List[List[np.ndarray]], np.ndarray, _BatchWordStream]:
+    """All sampled per-layer vectors for every pair, fully stacked.
 
-    Returns one :class:`BlockMaterials` per counter, bit-exact with the
-    scalar derivation (values, sampler statistics, and permutation counts
-    included).
+    Returns ``(layer_values, rejected, stream)`` where
+    ``layer_values[i][v]`` is the ``(N, t)`` uint64 matrix of the layer's
+    v-th vector (alpha_L, alpha_R, rc_L, rc_R), ``rejected`` the per-lane
+    rejection counts, and ``stream`` the word stream (its ``pos`` gives
+    per-lane words consumed). No per-lane Python work happens here.
     """
-    counters = [int(c) for c in counters]
-    if not counters:
-        return []
-    field = params.field
     sampler = params.sampler
     t = params.t
-    n = len(counters)
-    stream = _BatchWordStream(params, nonce, counters)
+    stream = _BatchWordStream([encode_block_seed(params, no, co) for no, co in pairs])
     # Pre-squeeze roughly the expected demand in one go; the sampler grows
     # the buffer on demand for unlucky lanes.
     expected_words = params.coefficients_per_block * sampler.expected_words_per_element
     stream.grow(max(1, int(np.ceil(expected_words * 1.05 / stream.rate_words))))
 
-    rejected = np.zeros(n, dtype=np.int64)
-    # layer_values[i][v][lane] = sampled vector v of layer i for that lane.
-    layer_values: List[List[List[np.ndarray]]] = []
+    rejected = np.zeros(len(pairs), dtype=np.int64)
+    layer_values: List[List[np.ndarray]] = []
     for _ in range(params.affine_layers):
-        vectors: List[List[np.ndarray]] = []
+        vectors: List[np.ndarray] = []
         for min_value in (1, 1, 0, 0):  # alpha_L, alpha_R, rc_L, rc_R
-            per_lane: List[np.ndarray] = []
-            for lane in range(n):
-                values, nrej = _sample_lane(stream, sampler, lane, t, min_value)
-                rejected[lane] += nrej
-                per_lane.append(values)
-            vectors.append(per_lane)
+            values, nrej = _sample_draw(stream, sampler, t, min_value)
+            rejected += nrej
+            vectors.append(values)
         layer_values.append(vectors)
+    return layer_values, rejected, stream
+
+
+def generate_block_materials_pairs(
+    params: PastaParams, pairs: Sequence[Tuple[int, int]]
+) -> List[BlockMaterials]:
+    """Batched materials derivation over arbitrary ``(nonce, counter)`` pairs.
+
+    The generalization of :func:`generate_block_materials_batch` that the
+    streaming service leans on: lanes need not share a nonce, so one
+    vectorized Keccak/sampling pass can cover many in-flight *frames*, not
+    just consecutive counters of one frame. Bit-exact with the scalar
+    derivation (values, sampler statistics, and permutation counts
+    included).
+    """
+    pairs = [(int(n), int(c)) for n, c in pairs]
+    if not pairs:
+        return []
+    field = params.field
+    layer_values, rejected, stream = _derive_layer_arrays(params, pairs)
 
     use_int64 = field.dtype is np.int64
     out: List[BlockMaterials] = []
-    for lane, counter in enumerate(counters):
+    for lane, (nonce, counter) in enumerate(pairs):
         layers = []
         for vectors in layer_values:
             arrays = []
-            for per_lane in vectors:
+            for values in vectors:
                 if use_int64:
-                    arrays.append(per_lane[lane].astype(np.int64))
+                    arrays.append(values[lane].astype(np.int64))
                 else:
-                    arrays.append(field.array(int(v) for v in per_lane[lane]))
+                    arrays.append(field.array(int(v) for v in values[lane]))
             layers.append(
                 LayerMaterials(alpha_l=arrays[0], alpha_r=arrays[1], rc_l=arrays[2], rc_r=arrays[3])
             )
@@ -180,6 +199,18 @@ def generate_block_materials_batch(
             )
         )
     return out
+
+
+def generate_block_materials_batch(
+    params: PastaParams, nonce: int, counters: Sequence[int]
+) -> List[BlockMaterials]:
+    """Batched :func:`repro.pasta.cipher.generate_block_materials`.
+
+    Returns one :class:`BlockMaterials` per counter, bit-exact with the
+    scalar derivation (values, sampler statistics, and permutation counts
+    included).
+    """
+    return generate_block_materials_pairs(params, [(nonce, int(c)) for c in counters])
 
 
 def batched_sequential_matrices(params: PastaParams, alphas: np.ndarray) -> np.ndarray:
@@ -265,33 +296,41 @@ class KeystreamEngine:
         while len(self._cache) > self.cache_size:
             self._cache.popitem(last=False)
 
-    def _entries(self, nonce: int, counters: Sequence[int]) -> List[_CacheEntry]:
-        """Cached entries for every counter, batch-deriving the misses."""
-        counters = [int(c) for c in counters]
-        entries: Dict[int, _CacheEntry] = {}
-        missing: List[int] = []
-        for c in counters:
-            cached = self._cache.get((nonce, c))
+    def _entries_pairs(self, pairs: Sequence[Tuple[int, int]]) -> List[_CacheEntry]:
+        """Cached entries for every (nonce, counter) pair, batch-deriving misses."""
+        pairs = [(int(n), int(c)) for n, c in pairs]
+        entries: Dict[Tuple[int, int], _CacheEntry] = {}
+        missing: List[Tuple[int, int]] = []
+        for key in pairs:
+            cached = self._cache.get(key)
             if cached is not None:
                 self._hits += 1
-                self._cache.move_to_end((nonce, c))
-                entries[c] = cached
-            elif c not in entries:
+                self._cache.move_to_end(key)
+                entries[key] = cached
+            elif key not in entries:
                 self._misses += 1
-                missing.append(c)
-                entries[c] = None  # type: ignore[assignment]
+                missing.append(key)
+                entries[key] = None  # type: ignore[assignment]
         if missing:
-            for materials in generate_block_materials_batch(self.params, nonce, missing):
+            for materials in generate_block_materials_pairs(self.params, missing):
                 entry = _CacheEntry(materials=materials)
-                entries[materials.counter] = entry
-                self._insert(nonce, materials.counter, entry)
-        return [entries[c] for c in counters]
+                entries[(materials.nonce, materials.counter)] = entry
+                self._insert(materials.nonce, materials.counter, entry)
+        return [entries[key] for key in pairs]
+
+    def _entries(self, nonce: int, counters: Sequence[int]) -> List[_CacheEntry]:
+        """Cached entries for every counter, batch-deriving the misses."""
+        return self._entries_pairs([(nonce, c) for c in counters])
 
     # -- public API ----------------------------------------------------------
 
     def materials(self, nonce: int, counters: Sequence[int]) -> List[BlockMaterials]:
         """Block materials for every counter (cache-backed, batch-derived)."""
         return [e.materials for e in self._entries(nonce, counters)]
+
+    def materials_pairs(self, pairs: Sequence[Tuple[int, int]]) -> List[BlockMaterials]:
+        """Block materials for arbitrary (nonce, counter) pairs (cache-backed)."""
+        return [e.materials for e in self._entries_pairs(pairs)]
 
     def matrix(self, nonce: int, counter: int, layer: int, side: str) -> np.ndarray:
         """One materialized affine matrix, cached alongside its materials."""
@@ -309,7 +348,7 @@ class KeystreamEngine:
         return self.matrix(nonce, counter, layer, "r")
 
     def _stacked_matrices(
-        self, nonce: int, entries: List[_CacheEntry], layer: int, side: str
+        self, entries: List[_CacheEntry], layer: int, side: str
     ) -> np.ndarray:
         """(N, t, t) matrices for one layer/side, filling cache gaps batched."""
         key = (layer, side)
@@ -335,25 +374,85 @@ class KeystreamEngine:
         counter0 + i)`` exactly; the whole batch shares each permutation,
         sampling pass, and affine ``einsum``.
         """
+        return self.keystream_pairs(
+            key, [(nonce, c) for c in range(counter0, counter0 + n_blocks)]
+        )
+
+    def keystream_pairs(
+        self, key: np.ndarray, pairs: Sequence[Tuple[int, int]]
+    ) -> np.ndarray:
+        """Keystream rows for arbitrary ``(nonce, counter)`` pairs, ``(n, t)``.
+
+        The cross-frame workhorse of the streaming service: one vectorized
+        pass covers blocks of *different* nonces (frames), so steady-state
+        throughput amortizes the per-pass Keccak/sampling overhead over
+        every frame currently in flight, not just one frame's blocks.
+        """
+        from repro.obs import get_registry
+
+        obs = get_registry()
+        obs.histogram("pasta.keystream.lanes").observe(len(pairs))
+        with obs.span("pasta.keystream.seconds"):
+            return self._keystream_pairs(key, pairs)
+
+    def _keystream_pairs(
+        self, key: np.ndarray, pairs: Sequence[Tuple[int, int]]
+    ) -> np.ndarray:
+        params = self.params
+        field = params.field
+        n_blocks = len(pairs)
+        if n_blocks <= 0:
+            return field.zeros(0, params.t)
+        if self.cache_size == 0 and field.dtype is np.int64:
+            # Streaming fast path: a cache-less engine serves fresh
+            # (nonce, counter) pairs that will never be asked for again, so
+            # skip per-block BlockMaterials assembly entirely and stay in
+            # stacked array-land from XOF words to keystream rows.
+            self._misses += n_blocks
+            layer_values, _, _ = _derive_layer_arrays(
+                params, [(int(no), int(co)) for no, co in pairs]
+            )
+            alphas = {}
+            rcs = {}
+            for layer, (al, ar, rl, rr) in enumerate(layer_values):
+                alphas[(layer, "l")] = al.astype(np.int64)
+                alphas[(layer, "r")] = ar.astype(np.int64)
+                rcs[(layer, "l")] = rl.astype(np.int64)
+                rcs[(layer, "r")] = rr.astype(np.int64)
+            return self._keystream_rounds(
+                key,
+                n_blocks,
+                lambda layer, side: batched_sequential_matrices(params, alphas[(layer, side)]),
+                lambda layer, side: rcs[(layer, side)],
+            )
+        entries = self._entries_pairs(pairs)
+        return self._keystream_rounds(
+            key,
+            n_blocks,
+            lambda layer, side: self._stacked_matrices(entries, layer, side),
+            lambda layer, side: np.stack(
+                [getattr(e.materials.layers[layer], f"rc_{side}") for e in entries]
+            ),
+        )
+
+    def _keystream_rounds(self, key, n_blocks: int, mats_of, rc_of) -> np.ndarray:
+        """The PASTA round schedule over stacked per-block state rows.
+
+        ``mats_of(layer, side)`` / ``rc_of(layer, side)`` supply the
+        ``(N, t, t)`` matrices and ``(N, t)`` round constants; both the
+        cache-backed and the fused streaming path feed this one loop.
+        """
         params = self.params
         field = params.field
         p = field.p
         t = params.t
-        if n_blocks <= 0:
-            return field.zeros(0, t)
-        counters = list(range(counter0, counter0 + n_blocks))
-        entries = self._entries(nonce, counters)
 
         state = np.tile(np.asarray(key).reshape(1, -1), (n_blocks, 1))
         xl = state[:, :t] % p
         xr = state[:, t:] % p
 
-        def rc_stack(layer: int, side: str) -> np.ndarray:
-            return np.stack([getattr(e.materials.layers[layer], f"rc_{side}") for e in entries])
-
         def affine(x: np.ndarray, layer: int, side: str) -> np.ndarray:
-            mats = self._stacked_matrices(nonce, entries, layer, side)
-            return (field.batched_mat_vec(mats, x) + rc_stack(layer, side)) % p
+            return (field.batched_mat_vec(mats_of(layer, side), x) + rc_of(layer, side)) % p
 
         for i in range(params.rounds):
             xl = affine(xl, i, "l")

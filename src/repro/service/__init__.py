@@ -1,0 +1,45 @@
+"""Streaming transciphering service: pipelined HHE with faults and retries.
+
+See :mod:`repro.service.pipeline` for the architecture overview and
+:mod:`repro.service.faults` for the deterministic uplink fault model.
+"""
+
+from repro.service.faults import (
+    NO_FAULTS,
+    FaultAction,
+    FaultPlan,
+    checksum,
+    corrupt_payload,
+)
+from repro.service.pipeline import (
+    TILE8,
+    TILE16,
+    HheRecovery,
+    PipelineResult,
+    RecoveredFrame,
+    ServiceConfig,
+    StreamingPipeline,
+    SymmetricRecovery,
+    WireFrame,
+    pack_frames,
+    unpack_frames,
+)
+
+__all__ = [
+    "FaultAction",
+    "FaultPlan",
+    "HheRecovery",
+    "NO_FAULTS",
+    "PipelineResult",
+    "RecoveredFrame",
+    "ServiceConfig",
+    "StreamingPipeline",
+    "SymmetricRecovery",
+    "TILE16",
+    "TILE8",
+    "WireFrame",
+    "checksum",
+    "corrupt_payload",
+    "pack_frames",
+    "unpack_frames",
+]

@@ -1,0 +1,658 @@
+"""Streaming transciphering pipeline: producer -> uplink -> worker pool -> sink.
+
+This is the system view the paper's Sec. V link budget abstracts away: an
+edge camera PASTA-encrypts a stream of frame tiles and ships them over a
+lossy uplink to a recovery pool, which turns them back into plaintext (or,
+in ``hhe`` mode, into BFV ciphertexts via real batched transciphering,
+decrypted client-side for verification). The moving parts:
+
+* **Producer** (client). Frames become ready on a schedule heap; the
+  producer collects up to ``batch_frames`` ready frames, synthesizes and
+  packs them with vectorized SHAKE/numpy, draws a **fresh nonce per
+  transmission** from a :class:`~repro.apps.video.NonceSequence`, and
+  derives keystream for the whole batch in one
+  :meth:`~repro.pasta.batch.KeystreamEngine.keystream_pairs` call — the
+  cross-frame amortization that gives the pipeline its throughput edge
+  over a per-frame encrypt loop.
+* **Uplink**. A bounded queue models the radio link; a
+  :class:`~repro.service.faults.FaultPlan` deterministically drops,
+  corrupts, or delays transmissions. Drops and over-timeout delays are
+  retried with bounded exponential backoff; corruption is caught by CRC
+  at the receiver, which NACKs back to the producer. Retries re-encrypt
+  under a fresh nonce, never the consumed one.
+* **Workers** (recovery pool). ``n_workers`` threads drain the uplink
+  queue in small batches and recover frames with a private cache-less
+  engine (the fused streaming path) or the batched HHE server.
+* **Sink**. Reorders by frame id, de-duplicates late deliveries, and
+  acknowledges; the run completes when every frame has been recovered.
+
+**Backpressure and degradation.** The bounded uplink queue pushes back on
+the producer; if a put stalls past ``saturation_put_timeout`` the producer
+downshifts to the next resolution in ``degradation_ladder`` — exactly one
+step per saturation episode (the episode ends when a put succeeds
+promptly again), so a long stall cannot slam the ladder to the floor.
+
+Everything reports into :mod:`repro.obs`: per-stage latency histograms
+(`service.synthesize/encrypt/recover/frame_latency .seconds`), fault and
+retry counters, queue-depth gauges.
+"""
+
+from __future__ import annotations
+
+import heapq
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.packing import pixels_per_element
+from repro.apps.video import NonceSequence, Resolution, synthetic_frames_batch
+from repro.errors import ParameterError, ServiceError
+from repro.obs import MetricsRegistry, get_registry
+from repro.pasta.batch import KeystreamEngine
+from repro.pasta.cipher import random_key
+from repro.pasta.params import PASTA_TOY, PastaParams
+from repro.service.faults import (
+    NO_FAULTS,
+    FaultAction,
+    FaultPlan,
+    checksum,
+    corrupt_payload,
+)
+
+__all__ = [
+    "TILE8",
+    "TILE16",
+    "ServiceConfig",
+    "WireFrame",
+    "RecoveredFrame",
+    "PipelineResult",
+    "SymmetricRecovery",
+    "HheRecovery",
+    "StreamingPipeline",
+    "pack_frames",
+    "unpack_frames",
+]
+
+#: Camera tiles the toy-parameter service streams (a full frame is shipped
+#: as independent tiles; degradation drops to the smaller tile).
+TILE16 = Resolution("TILE16", 16, 16)
+TILE8 = Resolution("TILE8", 8, 8)
+
+#: Key-derivation domain for the service's PASTA key (kept distinct from
+#: the HHE protocol's client domains; see repro.hhe.protocol).
+SERVICE_KEY_DOMAIN = b"service-v1-pasta-key|"
+
+
+# -- vectorized pixel packing ----------------------------------------------------
+
+
+def pack_frames(pixels: np.ndarray, p: int) -> np.ndarray:
+    """Vectorized :func:`~repro.apps.packing.pack_pixels` over frame rows.
+
+    ``pixels`` is ``(n_frames, n_pixels)`` uint8 with ``n_pixels`` a
+    multiple of the per-element capacity; returns int64 elements in [0, p).
+    """
+    per = pixels_per_element(p)
+    n_pixels = pixels.shape[1]
+    if n_pixels % per:
+        raise ParameterError(
+            f"frame width {n_pixels} not a multiple of {per} pixels/element"
+        )
+    elements = np.zeros((pixels.shape[0], n_pixels // per), dtype=np.int64)
+    for i in range(per):
+        elements = (elements << 8) | pixels[:, i::per].astype(np.int64)
+    return elements
+
+
+def unpack_frames(elements: np.ndarray, p: int) -> np.ndarray:
+    """Inverse of :func:`pack_frames` (big-endian within an element)."""
+    per = pixels_per_element(p)
+    out = np.empty((elements.shape[0], elements.shape[1] * per), dtype=np.uint8)
+    for i in range(per):
+        out[:, i::per] = ((elements >> (8 * (per - 1 - i))) & 0xFF).astype(np.uint8)
+    return out
+
+
+# -- wire/frame records ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WireFrame:
+    """One transmission attempt as it crosses the modeled uplink."""
+
+    frame_id: int
+    attempt: int
+    nonce: int
+    resolution: Resolution
+    payload: bytes  #: ciphertext elements as little-endian uint32
+    crc: int  #: CRC-32 of the *sent* payload (pre-corruption)
+    not_before: float  #: monotonic time before which delivery must not complete
+
+
+@dataclass
+class RecoveredFrame:
+    """A frame after recovery, as the sink acknowledges it."""
+
+    frame_id: int
+    attempt: int
+    nonce: int
+    resolution: Resolution
+    pixels: bytes
+
+
+@dataclass
+class _FrameState:
+    resolution: Resolution
+    created_at: float
+    attempts: int = 0
+    nonces: List[int] = field(default_factory=list)
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of one :meth:`StreamingPipeline.run`."""
+
+    frames: List[RecoveredFrame]  #: in frame-id order, one per source frame
+    duration_seconds: float
+    fps: float
+    degradation_steps: int
+    attempts: Dict[int, int]  #: frame_id -> transmissions used
+    nonces: Dict[int, List[int]]  #: frame_id -> every nonce consumed for it
+    metrics: Dict[str, dict]  #: obs registry snapshot at completion
+
+
+# -- configuration ---------------------------------------------------------------
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs for the streaming pipeline (defaults sized for toy params)."""
+
+    params: PastaParams = PASTA_TOY
+    resolution: Resolution = TILE8
+    n_frames: int = 64
+    n_workers: int = 4
+    batch_frames: int = 32  #: frames per producer encrypt pass
+    worker_batch: int = 8  #: frames a worker drains per recovery pass
+    queue_capacity: int = 64  #: uplink queue bound (backpressure)
+    timeout_seconds: float = 0.01  #: sender's delivery timeout (drop detection)
+    max_retries: int = 8  #: transmissions beyond the first before aborting
+    backoff_base_seconds: float = 0.002
+    backoff_max_seconds: float = 0.05
+    saturation_put_timeout: float = 0.05  #: stalled put => saturation episode
+    degradation_ladder: Tuple[Resolution, ...] = ()  #: fallbacks, highest first
+    mode: str = "symmetric"  #: "symmetric" (shared key) or "hhe" (BFV transcipher)
+    key_seed: bytes = b"service-demo"
+    fhe_seed: bytes = b"service-fhe"
+    run_timeout_seconds: float = 300.0  #: hard wall-clock bound on run()
+
+    def __post_init__(self):
+        if self.mode not in ("symmetric", "hhe"):
+            raise ParameterError(f"unknown service mode {self.mode!r}")
+        if self.n_workers < 1 or self.batch_frames < 1 or self.worker_batch < 1:
+            raise ParameterError("n_workers, batch_frames, worker_batch must be >= 1")
+        if self.queue_capacity < 1:
+            raise ParameterError("queue_capacity must be >= 1")
+        if self.max_retries < 0:
+            raise ParameterError("max_retries must be >= 0")
+
+
+# -- recovery backends -----------------------------------------------------------
+
+
+class SymmetricRecovery:
+    """Shared-key receiver: batched keystream subtraction on a private engine.
+
+    ``cache_size=0`` selects the engine's fused streaming path — the
+    steady-state service never revisits a (nonce, counter) window, so a
+    materials cache would only add assembly overhead.
+    """
+
+    def __init__(self, params: PastaParams, key: np.ndarray):
+        self.params = params
+        self.key = key
+        self.engine = KeystreamEngine(params, cache_size=0)
+
+    def recover_batch(self, frames: Sequence[Tuple[WireFrame, np.ndarray]]) -> List[np.ndarray]:
+        t = self.params.t
+        pairs: List[Tuple[int, int]] = []
+        spans: List[int] = []
+        for wire, elements in frames:
+            n_blocks = -(-len(elements) // t)
+            pairs.extend((wire.nonce, counter) for counter in range(n_blocks))
+            spans.append(n_blocks)
+        keystream = self.engine.keystream_pairs(self.key, pairs)
+        out: List[np.ndarray] = []
+        row = 0
+        for (_, elements), n_blocks in zip(frames, spans):
+            flat = keystream[row : row + n_blocks].reshape(-1)[: len(elements)]
+            row += n_blocks
+            out.append((elements - flat) % self.params.p)
+        return out
+
+
+class HheRecovery:
+    """Full HHE receive path: batched BFV transciphering, then decryption.
+
+    The worker transciphers each frame's blocks into slot-packed BFV
+    ciphertexts with :class:`~repro.hhe.batched.BatchedHheServer` (the
+    cloud's view of recovery); the adapter then decrypts with the client
+    secret key purely so the sink can verify bit-exactness — a real
+    deployment would hand the ciphertexts onward instead.
+    """
+
+    def __init__(
+        self,
+        params: PastaParams,
+        key: np.ndarray,
+        fhe_seed: bytes,
+        n: int = 256,
+        log2_q: int = 230,
+    ):
+        from repro.fhe import Bfv, toy_parameters
+        from repro.fhe.batching import BatchEncoder
+        from repro.hhe.batched import (
+            BatchedHheServer,
+            decrypt_batched_result,
+            encrypt_key_batched,
+        )
+
+        self.params = params
+        bfv = toy_parameters(params.p, n=n, log2_q=log2_q)
+        self.scheme = Bfv(bfv, seed=fhe_seed)
+        self.sk, pk, rlk = self.scheme.keygen()
+        self.encoder = BatchEncoder(bfv.n, params.p)
+        encrypted_key = encrypt_key_batched(self.scheme, pk, self.encoder, [int(k) for k in key])
+        self.server = BatchedHheServer(params, self.scheme, rlk, self.encoder, encrypted_key)
+        self._decrypt = decrypt_batched_result
+
+    def recover_batch(self, frames: Sequence[Tuple[WireFrame, np.ndarray]]) -> List[np.ndarray]:
+        t = self.params.t
+        out: List[np.ndarray] = []
+        for wire, elements in frames:
+            if len(elements) % t:
+                raise ParameterError("hhe mode requires full t-element blocks per frame")
+            blocks = elements.reshape(-1, t).tolist()
+            counters = list(range(len(blocks)))
+            result = self.server.transcipher_blocks(blocks, wire.nonce, counters)
+            messages = self._decrypt(self.scheme, self.sk, self.encoder, result)
+            out.append(np.array([v for block in messages for v in block], dtype=np.int64))
+        return out
+
+
+# -- the pipeline ----------------------------------------------------------------
+
+
+class StreamingPipeline:
+    """Producer / worker-pool / sink pipeline over the modeled uplink.
+
+    ``worker_gate`` is a test hook: when given, workers only consume while
+    the event is set, which lets a test hold the pool to force uplink
+    saturation deterministically.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        fault_plan: FaultPlan = NO_FAULTS,
+        registry: Optional[MetricsRegistry] = None,
+        worker_gate: Optional[threading.Event] = None,
+    ):
+        self.config = config
+        self.plan = fault_plan
+        self.obs = registry if registry is not None else get_registry()
+        self._gate = worker_gate
+
+        params = config.params
+        self.key = random_key(params, SERVICE_KEY_DOMAIN + config.key_seed)
+        self._client_engine = KeystreamEngine(params, cache_size=0)
+        if config.mode == "hhe":
+            self.recovery = HheRecovery(params, self.key, config.fhe_seed)
+        else:
+            self.recovery = SymmetricRecovery(params, self.key)
+
+        self._nonces = NonceSequence()
+        self._uplink_q: "queue.Queue[WireFrame]" = queue.Queue(maxsize=config.queue_capacity)
+        self._result_q: "queue.Queue[RecoveredFrame]" = queue.Queue(maxsize=2 * config.queue_capacity)
+        self._retry_q: "queue.Queue[Tuple[float, int, int]]" = queue.Queue()
+
+        self._lock = threading.Lock()
+        self._state: Dict[int, _FrameState] = {}
+        self._outstanding = set(range(config.n_frames))
+        self._recovered: Dict[int, RecoveredFrame] = {}
+        self._ladder: Tuple[Resolution, ...] = (config.resolution,) + tuple(config.degradation_ladder)
+        self._ladder_idx = 0
+        self._in_saturation = False
+        self.degradation_steps = 0
+
+        self._done = threading.Event()
+        self._stop = threading.Event()
+        self._failure: Optional[BaseException] = None
+        if not self._outstanding:
+            self._done.set()
+
+    # -- shared helpers ----------------------------------------------------------
+
+    def _backoff(self, attempt: int) -> float:
+        """Bounded exponential backoff before transmission ``attempt``."""
+        if attempt <= 0:
+            return 0.0
+        return min(
+            self.config.backoff_base_seconds * (2 ** (attempt - 1)),
+            self.config.backoff_max_seconds,
+        )
+
+    def _fail(self, exc: BaseException) -> None:
+        with self._lock:
+            if self._failure is None:
+                self._failure = exc
+        self._stop.set()
+        self._done.set()
+
+    def _frame_state(self, frame_id: int, now: float) -> _FrameState:
+        with self._lock:
+            state = self._state.get(frame_id)
+            if state is None:
+                state = _FrameState(resolution=self._ladder[self._ladder_idx], created_at=now)
+                self._state[frame_id] = state
+            return state
+
+    # -- producer ----------------------------------------------------------------
+
+    def _produce(self) -> None:
+        cfg = self.config
+        heap: List[Tuple[float, int, int]] = [(0.0, fid, 0) for fid in range(cfg.n_frames)]
+        heapq.heapify(heap)
+        try:
+            while not self._stop.is_set():
+                while True:
+                    try:
+                        heapq.heappush(heap, self._retry_q.get_nowait())
+                    except queue.Empty:
+                        break
+                if self._done.is_set():
+                    break
+                now = time.monotonic()
+                batch: List[Tuple[float, int, int]] = []
+                while heap and heap[0][0] <= now and len(batch) < cfg.batch_frames:
+                    batch.append(heapq.heappop(heap))
+                if not batch:
+                    wait = 0.005
+                    if heap:
+                        wait = min(wait, max(heap[0][0] - now, 0.0005))
+                    try:
+                        heapq.heappush(heap, self._retry_q.get(timeout=wait))
+                    except queue.Empty:
+                        pass
+                    continue
+                self._encrypt_and_send(batch, now)
+        except ServiceError as exc:
+            self._fail(exc)
+        except BaseException as exc:  # surface worker-thread-style crashes too
+            self._fail(ServiceError(f"producer failed: {exc!r}"))
+
+    def _encrypt_and_send(self, batch: Sequence[Tuple[float, int, int]], now: float) -> None:
+        cfg = self.config
+        params = cfg.params
+        obs = self.obs
+        t = params.t
+
+        # Resolve per-frame state; retries keep their original resolution.
+        jobs: List[Tuple[int, int, _FrameState]] = []
+        for _, frame_id, attempt in batch:
+            if attempt > cfg.max_retries:
+                raise ServiceError(
+                    f"frame {frame_id} exceeded {cfg.max_retries} retries"
+                )
+            state = self._frame_state(frame_id, now)
+            jobs.append((frame_id, attempt, state))
+
+        # Synthesize + pack, grouped by resolution (one vectorized pass each).
+        elements_of: Dict[int, np.ndarray] = {}
+        by_res: Dict[str, List[Tuple[int, Resolution]]] = {}
+        for frame_id, _, state in jobs:
+            by_res.setdefault(state.resolution.name, []).append((frame_id, state.resolution))
+        with obs.span("service.synthesize.seconds"):
+            for group in by_res.values():
+                resolution = group[0][1]
+                pixels = synthetic_frames_batch(resolution, [fid for fid, _ in group])
+                packed = pack_frames(pixels, params.p)
+                for row, (fid, _) in enumerate(group):
+                    elements_of[fid] = packed[row]
+
+        # One cross-frame keystream pass covers the whole batch.
+        with obs.span("service.encrypt.seconds"):
+            pairs: List[Tuple[int, int]] = []
+            spans: List[int] = []
+            nonce_of: Dict[int, int] = {}
+            for frame_id, attempt, state in jobs:
+                nonce = self._nonces.next()  # fresh per transmission, retries included
+                nonce_of[frame_id] = nonce
+                n_blocks = -(-len(elements_of[frame_id]) // t)
+                pairs.extend((nonce, counter) for counter in range(n_blocks))
+                spans.append(n_blocks)
+            keystream = self._client_engine.keystream_pairs(self.key, pairs)
+            wires: List[WireFrame] = []
+            row = 0
+            for (frame_id, attempt, state), n_blocks in zip(jobs, spans):
+                elements = elements_of[frame_id]
+                flat = keystream[row : row + n_blocks].reshape(-1)[: len(elements)]
+                row += n_blocks
+                ciphertext = (elements + flat) % params.p
+                payload = ciphertext.astype("<u4").tobytes()
+                with self._lock:
+                    state.attempts = attempt + 1
+                    state.nonces.append(nonce_of[frame_id])
+                wires.append(
+                    WireFrame(
+                        frame_id=frame_id,
+                        attempt=attempt,
+                        nonce=nonce_of[frame_id],
+                        resolution=state.resolution,
+                        payload=payload,
+                        crc=checksum(payload),
+                        not_before=0.0,
+                    )
+                )
+        obs.counter("service.frames.sent").inc(len(wires))
+        obs.histogram("service.batch.frames").observe(len(wires))
+
+        for wire in wires:
+            self._send(wire)
+
+    def _send(self, wire: WireFrame) -> None:
+        cfg = self.config
+        obs = self.obs
+        now = time.monotonic()
+        action = self.plan.action(wire.frame_id, wire.attempt)
+
+        if action is FaultAction.DROP:
+            obs.counter("service.uplink.dropped").inc()
+            self._schedule_retry(wire, now + cfg.timeout_seconds)
+            return
+
+        if action is FaultAction.CORRUPT:
+            obs.counter("service.uplink.corrupted").inc()
+            wire = WireFrame(
+                frame_id=wire.frame_id,
+                attempt=wire.attempt,
+                nonce=wire.nonce,
+                resolution=wire.resolution,
+                payload=corrupt_payload(wire.payload, wire.frame_id, wire.attempt),
+                crc=wire.crc,
+                not_before=wire.not_before,
+            )
+        elif action is FaultAction.DELAY:
+            obs.counter("service.uplink.delayed").inc()
+            wire = WireFrame(
+                frame_id=wire.frame_id,
+                attempt=wire.attempt,
+                nonce=wire.nonce,
+                resolution=wire.resolution,
+                payload=wire.payload,
+                crc=wire.crc,
+                not_before=now + self.plan.delay_seconds,
+            )
+            if self.plan.delay_seconds > cfg.timeout_seconds:
+                # The sender's timer fires before the late delivery lands:
+                # it retransmits, and the sink de-duplicates the straggler.
+                self._schedule_retry(wire, now + cfg.timeout_seconds)
+
+        try:
+            self._uplink_q.put(wire, timeout=cfg.saturation_put_timeout)
+        except queue.Full:
+            obs.counter("service.saturation.events").inc()
+            if not self._in_saturation:
+                self._in_saturation = True
+                self._downshift()
+            while not self._stop.is_set():
+                try:
+                    self._uplink_q.put(wire, timeout=0.05)
+                    break
+                except queue.Full:
+                    continue
+        else:
+            self._in_saturation = False
+        obs.gauge("service.uplink.depth").set(self._uplink_q.qsize())
+
+    def _schedule_retry(self, wire: WireFrame, earliest: float) -> None:
+        self.obs.counter("service.retries").inc()
+        ready = earliest + self._backoff(wire.attempt + 1)
+        self._retry_q.put((ready, wire.frame_id, wire.attempt + 1))
+
+    def _downshift(self) -> None:
+        """One degradation step: new frames use the next-smaller resolution."""
+        with self._lock:
+            if self._ladder_idx + 1 < len(self._ladder):
+                self._ladder_idx += 1
+                self.degradation_steps += 1
+                self.obs.counter("service.degradation.steps").inc()
+
+    # -- workers -----------------------------------------------------------------
+
+    def _worker(self) -> None:
+        cfg = self.config
+        obs = self.obs
+        try:
+            while not self._stop.is_set():
+                if self._gate is not None and not self._gate.wait(timeout=0.05):
+                    continue
+                try:
+                    first = self._uplink_q.get(timeout=0.05)
+                except queue.Empty:
+                    continue
+                wires = [first]
+                while len(wires) < cfg.worker_batch:
+                    try:
+                        wires.append(self._uplink_q.get_nowait())
+                    except queue.Empty:
+                        break
+                obs.gauge("service.uplink.depth").set(self._uplink_q.qsize())
+                self._recover(wires)
+        except BaseException as exc:
+            self._fail(ServiceError(f"worker failed: {exc!r}"))
+
+    def _recover(self, wires: Sequence[WireFrame]) -> None:
+        obs = self.obs
+        params = self.config.params
+        now = time.monotonic()
+        valid: List[Tuple[WireFrame, np.ndarray]] = []
+        for wire in wires:
+            if wire.not_before > now:
+                time.sleep(wire.not_before - now)
+                now = time.monotonic()
+            if checksum(wire.payload) != wire.crc:
+                obs.counter("service.crc.rejected").inc()
+                self._schedule_retry(wire, now)
+                continue
+            elements = np.frombuffer(wire.payload, dtype="<u4").astype(np.int64)
+            valid.append((wire, elements))
+        if not valid:
+            return
+        with obs.span("service.recover.seconds"):
+            recovered = self.recovery.recover_batch(valid)
+            for (wire, _), elements in zip(valid, recovered):
+                pixels = unpack_frames(elements[None, :], params.p)[0]
+                self._result_q.put(
+                    RecoveredFrame(
+                        frame_id=wire.frame_id,
+                        attempt=wire.attempt,
+                        nonce=wire.nonce,
+                        resolution=wire.resolution,
+                        pixels=pixels[: wire.resolution.pixels].tobytes(),
+                    )
+                )
+
+    # -- sink --------------------------------------------------------------------
+
+    def _sink(self) -> None:
+        obs = self.obs
+        try:
+            while not self._stop.is_set():
+                try:
+                    frame = self._result_q.get(timeout=0.05)
+                except queue.Empty:
+                    continue
+                now = time.monotonic()
+                with self._lock:
+                    if frame.frame_id in self._recovered:
+                        obs.counter("service.frames.duplicate").inc()
+                        continue
+                    self._recovered[frame.frame_id] = frame
+                    self._outstanding.discard(frame.frame_id)
+                    state = self._state.get(frame.frame_id)
+                    finished = not self._outstanding
+                obs.counter("service.frames.recovered").inc()
+                if state is not None:
+                    obs.histogram("service.frame_latency.seconds").observe(now - state.created_at)
+                if finished:
+                    self._done.set()
+        except BaseException as exc:
+            self._fail(ServiceError(f"sink failed: {exc!r}"))
+
+    # -- orchestration -----------------------------------------------------------
+
+    def run(self) -> PipelineResult:
+        """Stream every frame through the pipeline; block until acknowledged.
+
+        Raises :class:`ServiceError` if a frame exhausts its retries, a
+        stage crashes, or the run exceeds ``run_timeout_seconds``.
+        """
+        cfg = self.config
+        threads = [
+            threading.Thread(target=self._worker, name=f"service-worker-{i}", daemon=True)
+            for i in range(cfg.n_workers)
+        ]
+        threads.append(threading.Thread(target=self._sink, name="service-sink", daemon=True))
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        self._produce()
+        if not self._done.wait(timeout=cfg.run_timeout_seconds):
+            self._fail(ServiceError(f"pipeline stalled past {cfg.run_timeout_seconds}s"))
+        duration = time.perf_counter() - start
+        self._stop.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        if self._failure is not None:
+            raise self._failure
+
+        with self._lock:
+            frames = [self._recovered[fid] for fid in sorted(self._recovered)]
+            attempts = {fid: state.attempts for fid, state in self._state.items()}
+            nonces = {fid: list(state.nonces) for fid, state in self._state.items()}
+        fps = cfg.n_frames / duration if duration > 0 else 0.0
+        self.obs.gauge("service.fps").set(fps)
+        return PipelineResult(
+            frames=frames,
+            duration_seconds=duration,
+            fps=fps,
+            degradation_steps=self.degradation_steps,
+            attempts=attempts,
+            nonces=nonces,
+            metrics=self.obs.snapshot(),
+        )

@@ -141,3 +141,100 @@ class TestFunctionalPipeline:
         tiny = Resolution("tiny", 4, 2)
         cipher = Pasta(PASTA_TOY, random_key(PASTA_TOY))
         assert encrypt_frame(cipher, tiny, nonce=1).ok_roundtrip
+
+
+class TestUnpackStrictness:
+    def test_trailing_elements_rejected(self):
+        # 4 pixels pack into exactly 2 elements at P17; a third element on
+        # the wire is a framing bug, not slack to ignore.
+        packed = pack_pixels([1, 2, 3, 4], P17)
+        with pytest.raises(ParameterError):
+            unpack_pixels(packed + [0], P17, 4)
+
+    def test_zero_pixels_needs_zero_elements(self):
+        assert unpack_pixels([], P17, 0) == []
+        with pytest.raises(ParameterError):
+            unpack_pixels([7], P17, 0)
+
+
+class TestNonceSequence:
+    def test_monotonic_and_exhaustion(self):
+        from repro.apps import MAX_NONCE, NonceSequence
+        from repro.errors import NonceReuseError
+
+        seq = NonceSequence(start=MAX_NONCE - 1)
+        assert seq.next() == MAX_NONCE - 1
+        assert seq.next() == MAX_NONCE
+        with pytest.raises(NonceReuseError):
+            seq.next()  # wraparound would repeat keystream
+        assert seq.issued == 2
+
+    def test_invalid_range_rejected(self):
+        from repro.apps import NonceSequence
+
+        with pytest.raises(ParameterError):
+            NonceSequence(start=10, limit=5)
+
+    def test_thread_safety_no_duplicates(self):
+        import threading
+
+        from repro.apps import NonceSequence
+
+        seq = NonceSequence()
+        drawn = []
+        lock = threading.Lock()
+
+        def draw():
+            local = [seq.next() for _ in range(200)]
+            with lock:
+                drawn.extend(local)
+
+        threads = [threading.Thread(target=draw) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(drawn) == len(set(drawn)) == 800
+
+    def test_encrypt_frame_draws_fresh_nonces(self):
+        from repro.apps import NonceSequence
+
+        tiny = Resolution("tiny", 4, 2)
+        cipher = Pasta(PASTA_TOY, random_key(PASTA_TOY))
+        seq = NonceSequence()
+        first = encrypt_frame(cipher, tiny, seq, seed=3)
+        retry = encrypt_frame(cipher, tiny, seq, seed=3)  # same frame, re-sent
+        assert first.ok_roundtrip and retry.ok_roundtrip
+        assert first.nonce != retry.nonce
+
+    def test_sequence_forbids_allow_reuse(self):
+        from repro.apps import NonceSequence
+
+        tiny = Resolution("tiny", 4, 2)
+        cipher = Pasta(PASTA_TOY, random_key(PASTA_TOY))
+        with pytest.raises(ParameterError):
+            encrypt_frame(cipher, tiny, NonceSequence(), allow_nonce_reuse=True)
+
+
+class TestBatchedSynthesis:
+    def test_matches_scalar_frames(self):
+        from repro.apps import synthetic_frames_batch
+
+        tiny = Resolution("tiny", 8, 8)
+        seeds = [0, 1, 5, 99]
+        batch = synthetic_frames_batch(tiny, seeds)
+        assert batch.shape == (4, tiny.pixels)
+        for row, seed in enumerate(seeds):
+            assert batch[row].tolist() == synthetic_frame(tiny, seed)
+
+    def test_spans_multiple_sponge_blocks(self):
+        from repro.apps import QQVGA, synthetic_frames_batch
+
+        batch = synthetic_frames_batch(QQVGA, [2])  # 19200 px >> one 168 B block
+        assert batch[0].tolist() == synthetic_frame(QQVGA, 2)
+
+    def test_empty_batch(self):
+        from repro.apps import synthetic_frames_batch
+
+        tiny = Resolution("tiny", 4, 4)
+        assert synthetic_frames_batch(tiny, []).shape == (0, 16)

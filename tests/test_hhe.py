@@ -86,3 +86,33 @@ class TestBfvBackendAgainstPlain:
         plain_ks = Pasta(PASTA_MICRO, client.key).keystream_block(9, 0)
         got = [client.scheme.decrypt(client.sk, ct) for ct in enc_ks]
         assert got == [int(v) for v in plain_ks]
+
+
+class TestKeySeparation:
+    """Regression: one master seed must yield *independent* FHE and PASTA secrets."""
+
+    def test_derivations_are_domain_separated(self):
+        from repro.hhe.protocol import FHE_SEED_DOMAIN, PASTA_SEED_DOMAIN
+        from repro.pasta import random_key
+
+        seed = b"one-master-seed"
+        client = HheClient(PASTA_MICRO, toy_parameters(PASTA_MICRO.p, n=256, log2_q=190), seed=seed)
+        # The PASTA key comes from its own tagged stream, not the raw seed
+        # (which, pre-fix, also fed BFV keygen).
+        assert [int(k) for k in client.key] == [
+            int(k) for k in random_key(PASTA_MICRO, PASTA_SEED_DOMAIN + seed)
+        ]
+        assert [int(k) for k in client.key] != [
+            int(k) for k in random_key(PASTA_MICRO, seed)
+        ]
+        assert FHE_SEED_DOMAIN != PASTA_SEED_DOMAIN
+
+    def test_same_seed_clients_are_deterministic(self):
+        params = toy_parameters(PASTA_MICRO.p, n=256, log2_q=190)
+        a = HheClient(PASTA_MICRO, params, seed=b"det")
+        b = HheClient(PASTA_MICRO, params, seed=b"det")
+        assert [int(k) for k in a.key] == [int(k) for k in b.key]
+
+    def test_bfv_params_default_is_derived(self):
+        client = HheClient(PASTA_MICRO, seed=b"defaults")
+        assert client.bfv_params.p == PASTA_MICRO.p

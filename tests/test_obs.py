@@ -1,0 +1,132 @@
+"""Tests for the repro.obs metrics layer."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, get_registry, set_registry
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_concurrent_increments(self):
+        c = Counter("c")
+        threads = [
+            threading.Thread(target=lambda: [c.inc() for _ in range(1000)])
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 4000
+
+
+class TestGauge:
+    def test_set_and_max(self):
+        g = Gauge("g")
+        g.set(3)
+        g.set(10)
+        g.set(2)
+        assert g.value == 2
+        assert g.max == 10
+
+    def test_add(self):
+        g = Gauge("g")
+        g.add(5)
+        g.add(-2)
+        assert g.value == 3
+        assert g.max == 5
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        h = Histogram("h")
+        for v in range(1, 101):
+            h.observe(float(v))
+        s = h.summary()
+        assert s["count"] == 100
+        assert s["sum"] == pytest.approx(5050.0)
+        assert s["min"] == 1.0
+        assert s["max"] == 100.0
+        assert s["p50"] == pytest.approx(50.0, abs=2)
+        assert s["p99"] == pytest.approx(99.0, abs=2)
+
+    def test_reservoir_thins_but_moments_stay_exact(self):
+        h = Histogram("h", reservoir=64)
+        n = 10_000
+        for v in range(n):
+            h.observe(float(v))
+        assert h.count == n
+        assert h.sum == pytest.approx(n * (n - 1) / 2)
+        assert len(h._samples) < 128
+        assert h.percentile(50) == pytest.approx(n / 2, rel=0.25)
+
+    def test_empty_percentile(self):
+        assert Histogram("h").percentile(99) == 0.0
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ValueError):
+            Histogram("h").percentile(101)
+
+
+class TestRegistry:
+    def test_same_name_same_metric(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_kind_conflict(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_span_times_into_histogram(self):
+        reg = MetricsRegistry()
+        with reg.span("stage.seconds"):
+            pass
+        h = reg.histogram("stage.seconds")
+        assert h.count == 1
+        assert h.summary()["max"] >= 0.0
+
+    def test_span_observes_on_exception(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.span("stage.seconds"):
+                raise RuntimeError("boom")
+        assert reg.histogram("stage.seconds").count == 1
+
+    def test_snapshot_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.counter("frames").inc(3)
+        reg.gauge("depth").set(7)
+        reg.histogram("lat").observe(0.5)
+        snap = json.loads(reg.to_json())
+        assert snap["frames"]["value"] == 3
+        assert snap["depth"]["value"] == 7
+        assert snap["lat"]["count"] == 1
+        assert set(snap) == {"frames", "depth", "lat"}
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.reset()
+        assert reg.names() == []
+
+    def test_global_registry_swap(self):
+        mine = MetricsRegistry()
+        previous = set_registry(mine)
+        try:
+            assert get_registry() is mine
+        finally:
+            set_registry(previous)

@@ -1,0 +1,245 @@
+"""Tests for the streaming transciphering service (repro.service).
+
+The fault tests lean on two determinism guarantees: synthetic frame
+content is a pure function of (resolution, frame_id), and the fault plan
+is a pure function of (frame_id, attempt). Recovered output must therefore
+be bit-exact with a no-fault run regardless of thread interleaving.
+"""
+
+import threading
+
+import pytest
+
+from repro.apps.video import Resolution, synthetic_frame
+from repro.errors import ParameterError, ServiceError
+from repro.obs import MetricsRegistry
+from repro.pasta.params import PASTA_MICRO
+from repro.service import (
+    NO_FAULTS,
+    FaultAction,
+    FaultPlan,
+    ServiceConfig,
+    StreamingPipeline,
+    TILE8,
+    TILE16,
+    checksum,
+    corrupt_payload,
+)
+
+
+def run_pipeline(plan=NO_FAULTS, registry=None, **overrides):
+    defaults = dict(
+        n_frames=24,
+        resolution=TILE8,
+        n_workers=4,
+        batch_frames=8,
+        timeout_seconds=0.002,
+        backoff_base_seconds=0.001,
+        backoff_max_seconds=0.01,
+    )
+    defaults.update(overrides)
+    config = ServiceConfig(**defaults)
+    return StreamingPipeline(config, plan, registry=registry or MetricsRegistry()).run()
+
+
+def expected_pixels(frame):
+    return bytes(synthetic_frame(frame.resolution, frame.frame_id))
+
+
+class TestFaultPlan:
+    def test_deterministic_verdicts(self):
+        plan = FaultPlan(seed=3, drop_rate=0.2, corrupt_rate=0.1)
+        verdicts = [plan.action(fid, a) for fid in range(50) for a in range(3)]
+        assert verdicts == [plan.action(fid, a) for fid in range(50) for a in range(3)]
+        assert FaultAction.DROP in verdicts  # rates actually bite
+
+    def test_attempts_draw_independently(self):
+        plan = FaultPlan(seed=1, drop_rate=0.5)
+        actions = {plan.action(0, a) for a in range(32)}
+        assert actions == {FaultAction.DROP, FaultAction.DELIVER}
+
+    def test_explicit_schedule_overrides_rates(self):
+        plan = FaultPlan(drop_at=frozenset({(4, 0)}), corrupt_at=frozenset({(5, 1)}))
+        assert plan.action(4, 0) is FaultAction.DROP
+        assert plan.action(4, 1) is FaultAction.DELIVER
+        assert plan.action(5, 1) is FaultAction.CORRUPT
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ParameterError):
+            FaultPlan(drop_rate=1.5)
+        with pytest.raises(ParameterError):
+            FaultPlan(drop_rate=0.6, corrupt_rate=0.6)
+
+    def test_corrupt_payload_flips_exactly_one_bit(self):
+        payload = bytes(range(64))
+        mangled = corrupt_payload(payload, 7, 0)
+        diff = [a ^ b for a, b in zip(payload, mangled)]
+        assert sum(bin(d).count("1") for d in diff) == 1
+        assert checksum(mangled) != checksum(payload)
+
+
+class TestCleanRun:
+    def test_all_frames_recovered_in_order(self):
+        result = run_pipeline()
+        assert [f.frame_id for f in result.frames] == list(range(24))
+        for frame in result.frames:
+            assert frame.pixels == expected_pixels(frame)
+        assert all(n == 1 for n in result.attempts.values())
+
+    def test_nonces_unique_across_frames(self):
+        result = run_pipeline()
+        drawn = [n for ns in result.nonces.values() for n in ns]
+        assert len(drawn) == len(set(drawn)) == 24
+
+    def test_metrics_cover_stages(self):
+        registry = MetricsRegistry()
+        result = run_pipeline(registry=registry)
+        snap = result.metrics
+        for stage in ("service.synthesize.seconds", "service.encrypt.seconds",
+                      "service.recover.seconds", "service.frame_latency.seconds"):
+            assert snap[stage]["count"] > 0, stage
+        assert snap["service.frames.recovered"]["value"] == 24
+
+    def test_zero_frames(self):
+        result = run_pipeline(n_frames=0)
+        assert result.frames == []
+
+
+class TestFaultRecovery:
+    def test_scheduled_drops_recover_bit_exact(self):
+        baseline = run_pipeline()
+        plan = FaultPlan(drop_at=frozenset({(2, 0), (2, 1), (9, 0), (17, 0)}))
+        result = run_pipeline(plan)
+        assert [f.pixels for f in result.frames] == [f.pixels for f in baseline.frames]
+        assert result.attempts[2] == 3  # two drops then success
+        assert result.attempts[9] == 2
+        assert result.attempts[17] == 2
+        assert result.attempts[0] == 1
+
+    def test_retry_never_reuses_a_nonce(self):
+        plan = FaultPlan(
+            drop_at=frozenset({(3, 0)}),
+            corrupt_at=frozenset({(7, 0), (7, 1)}),
+        )
+        result = run_pipeline(plan)
+        for frame_id, nonces in result.nonces.items():
+            assert len(nonces) == result.attempts[frame_id]
+            assert len(nonces) == len(set(nonces)), f"frame {frame_id} reused a nonce"
+        all_nonces = [n for ns in result.nonces.values() for n in ns]
+        assert len(all_nonces) == len(set(all_nonces))
+        assert result.attempts[7] == 3
+
+    def test_corruption_detected_and_retried(self):
+        registry = MetricsRegistry()
+        plan = FaultPlan(corrupt_at=frozenset({(1, 0), (12, 0)}))
+        result = run_pipeline(plan, registry=registry)
+        assert registry.counter("service.crc.rejected").value == 2
+        for frame in result.frames:
+            assert frame.pixels == expected_pixels(frame)
+
+    def test_random_rates_zero_loss(self):
+        plan = FaultPlan(seed=11, drop_rate=0.10, corrupt_rate=0.05)
+        result = run_pipeline(plan, n_frames=32)
+        assert len(result.frames) == 32
+        for frame in result.frames:
+            assert frame.pixels == expected_pixels(frame)
+
+    def test_late_delivery_is_deduplicated(self):
+        registry = MetricsRegistry()
+        plan = FaultPlan(delay_at=frozenset({(5, 0)}), delay_seconds=0.02)
+        result = run_pipeline(plan, registry=registry, timeout_seconds=0.002)
+        assert len(result.frames) == 24
+        # the delayed original AND its retransmit both arrive; one is dropped
+        assert (
+            registry.counter("service.frames.duplicate").value
+            + registry.counter("service.frames.recovered").value
+            >= 25
+        )
+
+    def test_retries_exhausted_raises(self):
+        plan = FaultPlan(drop_at=frozenset({(0, a) for a in range(10)}))
+        config = ServiceConfig(
+            n_frames=2,
+            resolution=TILE8,
+            max_retries=3,
+            timeout_seconds=0.001,
+            backoff_base_seconds=0.0005,
+            backoff_max_seconds=0.002,
+        )
+        with pytest.raises(ServiceError):
+            StreamingPipeline(config, plan, registry=MetricsRegistry()).run()
+
+
+class TestBackpressureDegradation:
+    def test_saturation_triggers_exactly_one_downshift(self):
+        gate = threading.Event()  # workers held until we release them
+        registry = MetricsRegistry()
+        config = ServiceConfig(
+            n_frames=24,
+            resolution=TILE16,
+            degradation_ladder=(TILE8,),
+            n_workers=2,
+            batch_frames=4,
+            queue_capacity=2,
+            saturation_put_timeout=0.01,
+        )
+        pipeline = StreamingPipeline(config, NO_FAULTS, registry=registry, worker_gate=gate)
+        runner = threading.Thread(target=lambda: setattr(pipeline, "_test_result", pipeline.run()))
+        runner.start()
+        # Wait until the producer has actually hit a full queue.
+        for _ in range(400):
+            if registry.counter("service.saturation.events").value >= 1:
+                break
+            threading.Event().wait(0.005)
+        gate.set()
+        runner.join(timeout=60)
+        assert not runner.is_alive()
+        result = pipeline._test_result
+        assert registry.counter("service.saturation.events").value >= 1
+        # One continuous saturation episode => exactly one ladder step.
+        assert result.degradation_steps == 1
+        assert len(result.frames) == 24
+        resolutions = {f.resolution.name for f in result.frames}
+        assert "TILE8" in resolutions  # later frames downshifted
+        for frame in result.frames:
+            assert frame.pixels == expected_pixels(frame)
+
+    def test_no_downshift_without_ladder(self):
+        registry = MetricsRegistry()
+        result = run_pipeline(registry=registry, queue_capacity=1, saturation_put_timeout=0.001)
+        assert result.degradation_steps == 0
+        assert len(result.frames) == 24
+
+
+@pytest.mark.slow
+class TestHheMode:
+    def test_hhe_smoke_bit_exact(self):
+        # 4x4 tile -> 8 elements -> 4 full PASTA_MICRO blocks per frame.
+        tile = Resolution("TILE4", 4, 4)
+        plan = FaultPlan(drop_at=frozenset({(1, 0)}))
+        result = run_pipeline(
+            plan,
+            params=PASTA_MICRO,
+            resolution=tile,
+            n_frames=3,
+            n_workers=1,
+            batch_frames=3,
+            worker_batch=3,
+            mode="hhe",
+        )
+        assert len(result.frames) == 3
+        for frame in result.frames:
+            assert frame.pixels == expected_pixels(frame)
+        assert result.attempts[1] == 2
+
+
+class TestConfigValidation:
+    def test_bad_mode(self):
+        with pytest.raises(ParameterError):
+            ServiceConfig(mode="quantum")
+
+    def test_bad_counts(self):
+        with pytest.raises(ParameterError):
+            ServiceConfig(n_workers=0)
+        with pytest.raises(ParameterError):
+            ServiceConfig(queue_capacity=0)
