@@ -7,6 +7,8 @@ Usage::
     python -m repro all                  # print everything
     python -m repro report [PATH]        # (re)write EXPERIMENTS.md
     python -m repro service [options]    # run the streaming pipeline demo
+    python -m repro trace [options]      # traced pipeline run -> Perfetto JSON
+    python -m repro perfgate [options]   # BENCH_*.json vs committed baselines
 
 service options (all optional)::
 
@@ -16,6 +18,23 @@ service options (all optional)::
     --corrupt-rate R  injected corruption probability (default 0.0)
     --mode M          symmetric | hhe (default symmetric)
     --json            emit the metrics snapshot as JSON instead of a summary
+
+trace options (all optional)::
+
+    --out PATH        Perfetto/Chrome trace JSON destination (default trace.json)
+    --metrics-out P   also write the registry in Prometheus text format
+    --frames N        frames to stream (default 64)
+    --workers N       recovery workers (default 4)
+    --drop-rate R     injected uplink drop probability (default 0.0)
+    --mode M          symmetric | hhe (default symmetric)
+    --tolerance T     cycle-attribution divergence flag threshold (default 0.25)
+
+Load the trace at https://ui.perfetto.dev (Open trace file). Spans nest
+producer -> encrypt -> keystream with variant/omega attributes and
+modeled-cycle annotations in each slice's args.
+
+perfgate options: --current DIR, --baseline DIR, --tolerance T (see
+``repro.eval.perfgate``).
 """
 
 from __future__ import annotations
@@ -87,6 +106,82 @@ def service_main(argv) -> int:
     return 0
 
 
+def trace_main(argv) -> int:
+    """Run one traced pipeline pass; export Perfetto JSON + cycle report."""
+    from repro.obs import (
+        MetricsRegistry,
+        Tracer,
+        prometheus_text,
+        set_registry,
+        set_tracer,
+        write_chrome_trace,
+    )
+    from repro.obs.cycles import attribute
+    from repro.pasta.params import PASTA_MICRO, PASTA_TOY
+    from repro.service import FaultPlan, ServiceConfig, StreamingPipeline, TILE8
+    from repro.apps.video import Resolution
+
+    opts = {"out": "trace.json", "metrics-out": None, "frames": 64, "workers": 4,
+            "drop-rate": 0.0, "mode": "symmetric", "tolerance": 0.25}
+    it = iter(argv)
+    for arg in it:
+        name = arg.lstrip("-")
+        if name in ("frames", "workers"):
+            opts[name] = int(next(it))
+        elif name in ("drop-rate", "tolerance"):
+            opts[name] = float(next(it))
+        elif name in ("out", "metrics-out", "mode"):
+            opts[name] = next(it)
+        else:
+            print(f"unknown trace option {arg!r}", file=sys.stderr)
+            return 2
+
+    hhe = opts["mode"] == "hhe"
+    config = ServiceConfig(
+        params=PASTA_MICRO if hhe else PASTA_TOY,
+        resolution=Resolution("TILE4", 4, 4) if hhe else TILE8,
+        n_frames=opts["frames"],
+        n_workers=opts["workers"],
+        batch_frames=4 if hhe else 32,
+        worker_batch=4 if hhe else 32,
+        queue_capacity=128,
+        mode=opts["mode"],
+    )
+    plan = FaultPlan(seed=1, drop_rate=opts["drop-rate"])
+
+    # Fresh registry + tracer for exactly this run; the engines' spans
+    # resolve the globals at call time, so swap them in and restore after.
+    tracer = Tracer()
+    previous_tracer = set_tracer(tracer)
+    previous_registry = set_registry(MetricsRegistry())
+    try:
+        result = StreamingPipeline(config, plan).run()
+    finally:
+        registry = set_registry(previous_registry)
+        set_tracer(previous_tracer)
+
+    n_spans = write_chrome_trace(opts["out"], tracer, process_name="repro-service")
+    if opts["metrics-out"]:
+        with open(opts["metrics-out"], "w") as fh:
+            fh.write(prometheus_text(registry))
+
+    report = attribute(tracer.finished_spans(), tolerance=opts["tolerance"])
+    print(f"traced pipeline run ({config.mode}, {config.params.name}, "
+          f"{config.n_workers} workers): {len(result.frames)}/{config.n_frames} frames, "
+          f"{result.fps:.1f} frames/s")
+    print(f"  {n_spans} spans -> {opts['out']}  (open at https://ui.perfetto.dev)")
+    if opts["metrics-out"]:
+        print(f"  metrics -> {opts['metrics-out']} (Prometheus text)")
+    print()
+    print("cycle attribution (measured share vs accelerator-model share):")
+    print(report.render())
+    flagged = report.flagged()
+    if flagged:
+        print(f"\n  {len(flagged)} stage(s) diverge past {opts['tolerance']:.0%}: "
+              + ", ".join(r.stage for r in flagged))
+    return 0
+
+
 def main(argv=None) -> int:
     argv = argv if argv is not None else sys.argv[1:]
     from repro.eval import EXPERIMENTS
@@ -99,6 +194,12 @@ def main(argv=None) -> int:
     command = argv[0]
     if command == "service":
         return service_main(argv[1:])
+    if command == "trace":
+        return trace_main(argv[1:])
+    if command == "perfgate":
+        from repro.eval.perfgate import main as perfgate_main
+
+        return perfgate_main(argv[1:])
     if command == "report":
         from repro.eval.report import main as report_main
 

@@ -279,9 +279,16 @@ def encrypt_frame(
         if allow_nonce_reuse:
             raise ParameterError("allow_nonce_reuse is meaningless with a NonceSequence")
         nonce = nonce.next()
+    from repro.obs import get_tracer
+
     obs = get_registry()
     params = cipher.params
-    with obs.span("video.encrypt_frame.seconds"):
+    with get_tracer().span(
+        "video.encrypt_frame",
+        metric="video.encrypt_frame.seconds",
+        variant=params.name,
+        resolution=resolution.name,
+    ):
         pixels = synthetic_frame(resolution, seed)
         elements = pack_pixels(pixels, params.p)
         ciphertext = cipher.encrypt(elements, nonce, allow_nonce_reuse=allow_nonce_reuse)
@@ -289,7 +296,7 @@ def encrypt_frame(
         received = deserialize_ciphertext(wire, params.p, len(elements))
         recovered_elements = cipher.decrypt(received, nonce)
         recovered = unpack_pixels([int(e) for e in recovered_elements], params.p, len(pixels))
-    obs.counter("video.frames_encrypted").inc()
+    obs.counter("video.frames_encrypted", variant=params.name).inc()
     n_blocks = -(-len(elements) // params.t)
     return FrameRunResult(
         resolution=resolution,

@@ -190,11 +190,12 @@ class RnsEngine:
     # -- CRT-boundary operations ---------------------------------------------------
 
     def tensor_scale(self, a_parts: Sequence[Any], b_parts: Sequence[Any]) -> List[Any]:
-        from repro.obs import get_registry
+        from repro.obs import get_registry, get_tracer
 
-        obs = get_registry()
-        obs.counter("fhe.tensor_scale.calls").inc()
-        with obs.span("fhe.tensor_scale.seconds"):
+        get_registry().counter("fhe.tensor_scale.calls", engine="rns").inc()
+        with get_tracer().span(
+            "fhe.tensor_scale", metric="fhe.tensor_scale.seconds", engine="rns"
+        ):
             return self._tensor_scale(a_parts, b_parts)
 
     def _tensor_scale(self, a_parts: Sequence[Any], b_parts: Sequence[Any]) -> List[Any]:

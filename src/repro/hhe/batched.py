@@ -162,11 +162,25 @@ class BatchedHheServer:
         ``(nonce, counters[b])``. Slot b of output ciphertext j encrypts
         message element j of block b.
         """
-        from repro.obs import get_registry
+        from repro.obs import get_registry, get_tracer
+        from repro.obs.cycles import modeled_cycle_attributes
 
+        params = self.params
         obs = get_registry()
-        obs.counter("hhe.transcipher.blocks").inc(len(counters))
-        with obs.span("hhe.transcipher.seconds"):
+        obs.counter(
+            "hhe.transcipher.blocks", variant=params.name, omega=params.modulus_bits
+        ).inc(len(counters))
+        # The modeled cycles are the accelerator's budget for deriving the
+        # same keystream material — the hardware-comparable slice of the
+        # homomorphic evaluation this stage performs.
+        with get_tracer().span(
+            "hhe.transcipher",
+            metric="hhe.transcipher.seconds",
+            variant=params.name,
+            omega=params.modulus_bits,
+            blocks=len(counters),
+            **modeled_cycle_attributes(params, len(counters)),
+        ):
             return self._transcipher_blocks(ciphertext_blocks, nonce, counters)
 
     def _transcipher_blocks(

@@ -1,0 +1,172 @@
+"""Exporters: Chrome trace-event / Perfetto JSON and Prometheus text.
+
+Two renderings of the same observability state:
+
+* :func:`chrome_trace` turns a tracer's span buffer into the Chrome
+  trace-event JSON object format — loadable directly at
+  https://ui.perfetto.dev (or ``chrome://tracing``). Each span becomes a
+  complete (``"ph": "X"``) duration event on its recording thread's
+  track, with span attributes (variant, ω, lanes, modeled cycles, ...)
+  in ``args`` where the Perfetto UI shows them on click. Thread-name
+  metadata events label the producer / worker / sink tracks.
+* :func:`prometheus_text` renders a :class:`~repro.obs.metrics.MetricsRegistry`
+  snapshot in the Prometheus text exposition format (``# TYPE`` headers,
+  ``name{label="v"} value`` samples), so a scrape endpoint or a textfile
+  collector can ship the registry without bespoke glue. Histograms are
+  exposed as Prometheus summaries (``_count`` / ``_sum`` + quantiles);
+  gauges additionally expose their running ``_max``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "prometheus_text",
+]
+
+#: Quantiles exposed for each histogram in the Prometheus rendering.
+SUMMARY_QUANTILES = (0.5, 0.9, 0.99)
+
+_INVALID_PROM_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _json_safe(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def chrome_trace(
+    spans_or_tracer: Union[Tracer, Iterable[Span]], process_name: str = "repro"
+) -> Dict[str, object]:
+    """Spans → Chrome trace-event JSON (object format), Perfetto-loadable.
+
+    Timestamps are microseconds relative to the earliest span start, so
+    the trace always begins at t=0 regardless of perf-counter epoch.
+    """
+    spans = (
+        spans_or_tracer.finished_spans()
+        if isinstance(spans_or_tracer, Tracer)
+        else list(spans_or_tracer)
+    )
+    events: List[Dict[str, object]] = [
+        {"ph": "M", "pid": 1, "tid": 0, "name": "process_name", "args": {"name": process_name}}
+    ]
+    if not spans:
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    epoch = min(s.start for s in spans)
+    named_threads = set()
+    for span in spans:
+        if span.thread_id not in named_threads:
+            named_threads.add(span.thread_id)
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": span.thread_id,
+                    "name": "thread_name",
+                    "args": {"name": span.thread_name},
+                }
+            )
+        args = {k: _json_safe(v) for k, v in span.attributes.items()}
+        args["trace_id"] = span.trace_id
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_span_id"] = span.parent_id
+        if span.status != "ok":
+            args["status"] = span.status
+        events.append(
+            {
+                "ph": "X",
+                "pid": 1,
+                "tid": span.thread_id,
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "ts": (span.start - epoch) * 1e6,
+                "dur": span.duration * 1e6,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str,
+    spans_or_tracer: Union[Tracer, Iterable[Span]],
+    process_name: str = "repro",
+) -> int:
+    """Write the Perfetto JSON to ``path``; returns the span count."""
+    trace = chrome_trace(spans_or_tracer, process_name=process_name)
+    with open(path, "w") as fh:
+        json.dump(trace, fh, indent=1)
+        fh.write("\n")
+    # One metadata event per process + thread; the rest are spans.
+    return sum(1 for e in trace["traceEvents"] if e["ph"] == "X")
+
+
+# -- Prometheus text exposition ----------------------------------------------------
+
+
+def _prom_name(name: str, suffix: str = "") -> str:
+    base = _INVALID_PROM_CHARS.sub("_", name)
+    if base and base[0].isdigit():
+        base = "_" + base
+    return base + suffix
+
+
+def _prom_labels(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{_INVALID_PROM_CHARS.sub("_", k)}="{v}"' for k, v in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render every metric in the Prometheus text exposition format."""
+    lines: List[str] = []
+    seen_headers = set()
+
+    def header(name: str, kind: str, help_text: str) -> None:
+        if name in seen_headers:
+            return
+        seen_headers.add(name)
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    for _, metric in registry.items():
+        if isinstance(metric, Counter):
+            name = _prom_name(metric.name, "_total")
+            header(name, "counter", metric.help)
+            lines.append(f"{name}{_prom_labels(metric.labels)} {metric.value}")
+        elif isinstance(metric, Gauge):
+            name = _prom_name(metric.name)
+            header(name, "gauge", metric.help)
+            snap = metric.snapshot()
+            lines.append(f"{name}{_prom_labels(metric.labels)} {snap['value']}")
+            max_name = _prom_name(metric.name, "_max")
+            header(max_name, "gauge", "")
+            lines.append(f"{max_name}{_prom_labels(metric.labels)} {snap['max']}")
+        elif isinstance(metric, Histogram):
+            name = _prom_name(metric.name)
+            header(name, "summary", metric.help)
+            for q in SUMMARY_QUANTILES:
+                value = metric.percentile(q * 100.0)
+                lines.append(f"{name}{_prom_labels(metric.labels, {'quantile': str(q)})} {value}")
+            lines.append(f"{name}_sum{_prom_labels(metric.labels)} {metric.sum}")
+            lines.append(f"{name}_count{_prom_labels(metric.labels)} {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")

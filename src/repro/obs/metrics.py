@@ -1,4 +1,4 @@
-"""Lightweight observability: counters, gauges, latency histograms, spans.
+"""Lightweight metrics: counters, gauges, latency histograms, label support.
 
 The streaming service (:mod:`repro.service`) and the hot paths it crosses
 (batched keystream engine, RNS polynomial engine, batched HHE server,
@@ -6,26 +6,37 @@ video app) all report into one process-wide :class:`MetricsRegistry`.
 Design constraints, in order:
 
 1. **Cheap.** A counter increment is a lock + integer add; a histogram
-   observation appends to a bounded reservoir. Nothing allocates per
-   sample beyond the float being stored, so instrumenting a per-batch hot
-   path does not perturb what it measures.
+   observation updates exact moments and (past the reservoir bound) one
+   seeded-RNG draw. Nothing allocates per sample beyond the float being
+   stored, so instrumenting a per-batch hot path does not perturb what it
+   measures.
 2. **Thread-safe.** The pipeline's producer, worker pool, and sink all
    report concurrently; each metric carries its own lock.
 3. **Exportable.** ``registry.snapshot()`` is plain JSON-able data — the
-   service benchmark dumps it into ``BENCH_service_pipeline.json`` and the
-   CLI renders it after a run.
+   service benchmark dumps it into ``BENCH_service_pipeline.json``, the
+   CLI renders it after a run, and :mod:`repro.obs.export` turns it into
+   Prometheus text exposition.
 
 Metric names are dotted strings (``"service.transcipher.seconds"``); the
 registry creates metrics on first use so call sites never need wiring.
+Metrics may carry **labels**::
+
+    registry.counter("pasta.keystream.lanes", variant="pasta3", omega=17)
+
+Each distinct label set is its own child metric; the snapshot keys it as
+``pasta.keystream.lanes{omega="17",variant="pasta3"}`` (labels sorted),
+and every snapshot entry records ``name`` and ``labels`` separately so
+exporters never re-parse the composite key.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import threading
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 __all__ = [
     "Counter",
@@ -34,20 +45,39 @@ __all__ = [
     "MetricsRegistry",
     "get_registry",
     "set_registry",
+    "metric_key",
 ]
 
 #: Histogram reservoir bound. Beyond this many samples the histogram keeps
 #: summary statistics exact (count/sum/min/max) and percentiles approximate
-#: via systematic subsampling — adequate for latency reporting.
+#: via uniform reservoir sampling (Algorithm R) — adequate for latency
+#: reporting.
 DEFAULT_RESERVOIR = 4096
+
+#: Seed for every histogram's reservoir RNG: percentile estimates are
+#: reproducible run to run for an identical observation sequence.
+RESERVOIR_SEED = 0x5EED
+
+
+def metric_key(name: str, labels: Mapping[str, object]) -> str:
+    """Canonical registry key for ``name`` with ``labels`` (sorted)."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def _canonical_labels(labels: Mapping[str, object]) -> Dict[str, str]:
+    return {k: str(v) for k, v in labels.items()}
 
 
 class Counter:
     """A monotonically increasing counter."""
 
-    def __init__(self, name: str, help: str = ""):
+    def __init__(self, name: str, help: str = "", labels: Optional[Mapping[str, str]] = None):
         self.name = name
         self.help = help
+        self.labels: Dict[str, str] = dict(labels or {})
         self._lock = threading.Lock()
         self._value = 0
 
@@ -63,7 +93,11 @@ class Counter:
             return self._value
 
     def snapshot(self) -> Dict[str, object]:
-        return {"type": "counter", "value": self.value}
+        out: Dict[str, object] = {"type": "counter", "value": self.value}
+        if self.labels:
+            out["name"] = self.name
+            out["labels"] = dict(self.labels)
+        return out
 
 
 class Gauge:
@@ -73,9 +107,10 @@ class Gauge:
     is visible after the fact without sampling the gauge on a timer.
     """
 
-    def __init__(self, name: str, help: str = ""):
+    def __init__(self, name: str, help: str = "", labels: Optional[Mapping[str, str]] = None):
         self.name = name
         self.help = help
+        self.labels: Dict[str, str] = dict(labels or {})
         self._lock = threading.Lock()
         self._value = 0.0
         self._max = 0.0
@@ -104,22 +139,37 @@ class Gauge:
 
     def snapshot(self) -> Dict[str, object]:
         with self._lock:
-            return {"type": "gauge", "value": self._value, "max": self._max}
+            out: Dict[str, object] = {"type": "gauge", "value": self._value, "max": self._max}
+        if self.labels:
+            out["name"] = self.name
+            out["labels"] = dict(self.labels)
+        return out
 
 
 class Histogram:
     """Latency/size distribution with exact moments and sampled percentiles.
 
-    Observations land in a bounded reservoir; once full, every k-th sample
-    is kept (systematic subsampling) so long benchmark runs stay O(1) in
-    memory while count/sum/min/max remain exact.
+    Observations land in a bounded reservoir. Once the reservoir is full,
+    **uniform reservoir sampling** (Vitter's Algorithm R, seeded RNG) keeps
+    each of the first ``n`` observations in the sample with probability
+    ``reservoir / n`` — every observation is equally likely to survive, so
+    percentile estimates stay unbiased for any arrival order. (The previous
+    systematic keep-every-k-th scheme over-weighted early samples whenever
+    the stride doubled mid-stream.) count/sum/min/max remain exact.
     """
 
-    def __init__(self, name: str, help: str = "", reservoir: int = DEFAULT_RESERVOIR):
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        reservoir: int = DEFAULT_RESERVOIR,
+        labels: Optional[Mapping[str, str]] = None,
+    ):
         if reservoir < 1:
             raise ValueError(f"histogram {name} needs a positive reservoir size")
         self.name = name
         self.help = help
+        self.labels: Dict[str, str] = dict(labels or {})
         self._lock = threading.Lock()
         self._reservoir = reservoir
         self._samples: List[float] = []
@@ -127,7 +177,7 @@ class Histogram:
         self._sum = 0.0
         self._min: Optional[float] = None
         self._max: Optional[float] = None
-        self._stride = 1
+        self._rng = random.Random(RESERVOIR_SEED)
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -138,13 +188,14 @@ class Histogram:
                 self._min = value
             if self._max is None or value > self._max:
                 self._max = value
-            if self._count % self._stride == 0:
+            if len(self._samples) < self._reservoir:
                 self._samples.append(value)
-                if len(self._samples) >= self._reservoir:
-                    # Thin the reservoir: keep every other sample, double
-                    # the stride for future observations.
-                    self._samples = self._samples[::2]
-                    self._stride *= 2
+            else:
+                # Algorithm R: the n-th observation replaces a uniformly
+                # chosen slot with probability reservoir/n.
+                slot = self._rng.randrange(self._count)
+                if slot < self._reservoir:
+                    self._samples[slot] = value
 
     @property
     def count(self) -> int:
@@ -185,41 +236,57 @@ class Histogram:
     def snapshot(self) -> Dict[str, object]:
         out: Dict[str, object] = {"type": "histogram"}
         out.update(self.summary())
+        if self.labels:
+            out["name"] = self.name
+            out["labels"] = dict(self.labels)
         return out
 
 
 class MetricsRegistry:
-    """Process-wide named metrics, created on first use."""
+    """Process-wide named metrics, created on first use.
+
+    Keyword arguments beyond ``help`` (and ``reservoir`` for histograms)
+    are labels; each distinct ``(name, labels)`` pair is its own metric
+    instance.
+    """
 
     def __init__(self):
         self._lock = threading.Lock()
         self._metrics: Dict[str, object] = {}
 
-    def _get(self, name: str, factory, kind):
+    def _get(self, name: str, labels: Mapping[str, object], factory, kind):
+        canonical = _canonical_labels(labels)
+        key = metric_key(name, canonical)
         with self._lock:
-            metric = self._metrics.get(name)
+            metric = self._metrics.get(key)
             if metric is None:
-                metric = factory()
-                self._metrics[name] = metric
+                metric = factory(canonical)
+                self._metrics[key] = metric
             elif not isinstance(metric, kind):
                 raise TypeError(
-                    f"metric {name!r} already registered as {type(metric).__name__}"
+                    f"metric {key!r} already registered as {type(metric).__name__}"
                 )
             return metric
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._get(name, lambda: Counter(name, help), Counter)
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._get(name, labels, lambda lb: Counter(name, help, lb), Counter)
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._get(name, lambda: Gauge(name, help), Gauge)
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._get(name, labels, lambda lb: Gauge(name, help, lb), Gauge)
 
-    def histogram(self, name: str, help: str = "", reservoir: int = DEFAULT_RESERVOIR) -> Histogram:
-        return self._get(name, lambda: Histogram(name, help, reservoir), Histogram)
+    def histogram(
+        self, name: str, help: str = "", reservoir: int = DEFAULT_RESERVOIR, **labels
+    ) -> Histogram:
+        return self._get(name, labels, lambda lb: Histogram(name, help, reservoir, lb), Histogram)
 
     @contextmanager
-    def span(self, name: str) -> Iterator[None]:
-        """Time a block into the histogram ``name`` (seconds)."""
-        hist = self.histogram(name)
+    def span(self, name: str, **labels) -> Iterator[None]:
+        """Time a block into the histogram ``name`` (seconds).
+
+        For spans that should also land in the trace buffer, use
+        :meth:`repro.obs.trace.Tracer.span` — it feeds the same histogram.
+        """
+        hist = self.histogram(name, **labels)
         start = time.perf_counter()
         try:
             yield
@@ -230,11 +297,16 @@ class MetricsRegistry:
         with self._lock:
             return sorted(self._metrics)
 
+    def items(self) -> List[Tuple[str, object]]:
+        """(key, metric) pairs, sorted by key — exporter raw access."""
+        with self._lock:
+            return sorted(self._metrics.items())
+
     def snapshot(self) -> Dict[str, Dict[str, object]]:
-        """JSON-able view of every metric."""
+        """JSON-able view of every metric, keyed by canonical metric key."""
         with self._lock:
             metrics = dict(self._metrics)
-        return {name: metric.snapshot() for name, metric in sorted(metrics.items())}
+        return {key: metric.snapshot() for key, metric in sorted(metrics.items())}
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.snapshot(), indent=indent)

@@ -388,11 +388,22 @@ class KeystreamEngine:
         throughput amortizes the per-pass Keccak/sampling overhead over
         every frame currently in flight, not just one frame's blocks.
         """
-        from repro.obs import get_registry
+        from repro.obs import get_registry, get_tracer
+        from repro.obs.cycles import modeled_cycle_attributes
 
+        params = self.params
         obs = get_registry()
-        obs.histogram("pasta.keystream.lanes").observe(len(pairs))
-        with obs.span("pasta.keystream.seconds"):
+        obs.histogram(
+            "pasta.keystream.lanes", variant=params.name, omega=params.modulus_bits
+        ).observe(len(pairs))
+        with get_tracer().span(
+            "pasta.keystream",
+            metric="pasta.keystream.seconds",
+            variant=params.name,
+            omega=params.modulus_bits,
+            lanes=len(pairs),
+            **modeled_cycle_attributes(params, len(pairs)),
+        ):
             return self._keystream_pairs(key, pairs)
 
     def _keystream_pairs(

@@ -34,7 +34,18 @@ promptly again), so a long stall cannot slam the ladder to the floor.
 
 Everything reports into :mod:`repro.obs`: per-stage latency histograms
 (`service.synthesize/encrypt/recover/frame_latency .seconds`), fault and
-retry counters, queue-depth gauges.
+retry counters, queue-depth gauges (maintained by the queue operations'
+own put/get accounting, not sampled ``qsize()``), and worker idle time
+(`service.worker.idle.seconds`) so pool starvation is visible.
+
+**Tracing.** Every stage also records a hierarchical span
+(:mod:`repro.obs.trace`): the producer's ``service.produce.batch`` span
+nests ``service.synthesize`` and ``service.encrypt``, which in turn nests
+the keystream engine's ``pasta.keystream`` span (with its modeled-cycle
+annotation). The encrypt span's context crosses the thread boundary
+explicitly — each :class:`WireFrame` carries it through the uplink queue —
+so a worker's ``service.recover`` span joins the trace of the batch that
+produced its frames. ``repro trace`` exports the buffer as Perfetto JSON.
 """
 
 from __future__ import annotations
@@ -51,7 +62,7 @@ import numpy as np
 from repro.apps.packing import pixels_per_element
 from repro.apps.video import NonceSequence, Resolution, synthetic_frames_batch
 from repro.errors import ParameterError, ServiceError
-from repro.obs import MetricsRegistry, get_registry
+from repro.obs import MetricsRegistry, SpanContext, Tracer, get_registry, get_tracer
 from repro.pasta.batch import KeystreamEngine
 from repro.pasta.cipher import random_key
 from repro.pasta.params import PASTA_TOY, PastaParams
@@ -131,6 +142,9 @@ class WireFrame:
     payload: bytes  #: ciphertext elements as little-endian uint32
     crc: int  #: CRC-32 of the *sent* payload (pre-corruption)
     not_before: float  #: monotonic time before which delivery must not complete
+    #: trace context of the producing encrypt span; carried through the
+    #: uplink queue so worker-side spans join the producer's trace.
+    trace: Optional[SpanContext] = None
 
 
 @dataclass
@@ -301,10 +315,12 @@ class StreamingPipeline:
         fault_plan: FaultPlan = NO_FAULTS,
         registry: Optional[MetricsRegistry] = None,
         worker_gate: Optional[threading.Event] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.config = config
         self.plan = fault_plan
         self.obs = registry if registry is not None else get_registry()
+        self.tracer = tracer if tracer is not None else get_tracer()
         self._gate = worker_gate
 
         params = config.params
@@ -399,6 +415,7 @@ class StreamingPipeline:
         cfg = self.config
         params = cfg.params
         obs = self.obs
+        tracer = self.tracer
         t = params.t
 
         # Resolve per-frame state; retries keep their original resolution.
@@ -411,58 +428,83 @@ class StreamingPipeline:
             state = self._frame_state(frame_id, now)
             jobs.append((frame_id, attempt, state))
 
-        # Synthesize + pack, grouped by resolution (one vectorized pass each).
-        elements_of: Dict[int, np.ndarray] = {}
-        by_res: Dict[str, List[Tuple[int, Resolution]]] = {}
-        for frame_id, _, state in jobs:
-            by_res.setdefault(state.resolution.name, []).append((frame_id, state.resolution))
-        with obs.span("service.synthesize.seconds"):
-            for group in by_res.values():
-                resolution = group[0][1]
-                pixels = synthetic_frames_batch(resolution, [fid for fid, _ in group])
-                packed = pack_frames(pixels, params.p)
-                for row, (fid, _) in enumerate(group):
-                    elements_of[fid] = packed[row]
+        with tracer.span(
+            "service.produce.batch",
+            metric="service.produce.batch.seconds",
+            registry=obs,
+            variant=params.name,
+            omega=params.modulus_bits,
+            mode=cfg.mode,
+            frames=len(jobs),
+        ):
+            # Synthesize + pack, grouped by resolution (one vectorized pass each).
+            elements_of: Dict[int, np.ndarray] = {}
+            by_res: Dict[str, List[Tuple[int, Resolution]]] = {}
+            for frame_id, _, state in jobs:
+                by_res.setdefault(state.resolution.name, []).append((frame_id, state.resolution))
+            with tracer.span(
+                "service.synthesize",
+                metric="service.synthesize.seconds",
+                registry=obs,
+                frames=len(jobs),
+            ):
+                for group in by_res.values():
+                    resolution = group[0][1]
+                    pixels = synthetic_frames_batch(resolution, [fid for fid, _ in group])
+                    packed = pack_frames(pixels, params.p)
+                    for row, (fid, _) in enumerate(group):
+                        elements_of[fid] = packed[row]
 
-        # One cross-frame keystream pass covers the whole batch.
-        with obs.span("service.encrypt.seconds"):
-            pairs: List[Tuple[int, int]] = []
-            spans: List[int] = []
-            nonce_of: Dict[int, int] = {}
-            for frame_id, attempt, state in jobs:
-                nonce = self._nonces.next()  # fresh per transmission, retries included
-                nonce_of[frame_id] = nonce
-                n_blocks = -(-len(elements_of[frame_id]) // t)
-                pairs.extend((nonce, counter) for counter in range(n_blocks))
-                spans.append(n_blocks)
-            keystream = self._client_engine.keystream_pairs(self.key, pairs)
-            wires: List[WireFrame] = []
-            row = 0
-            for (frame_id, attempt, state), n_blocks in zip(jobs, spans):
-                elements = elements_of[frame_id]
-                flat = keystream[row : row + n_blocks].reshape(-1)[: len(elements)]
-                row += n_blocks
-                ciphertext = (elements + flat) % params.p
-                payload = ciphertext.astype("<u4").tobytes()
-                with self._lock:
-                    state.attempts = attempt + 1
-                    state.nonces.append(nonce_of[frame_id])
-                wires.append(
-                    WireFrame(
-                        frame_id=frame_id,
-                        attempt=attempt,
-                        nonce=nonce_of[frame_id],
-                        resolution=state.resolution,
-                        payload=payload,
-                        crc=checksum(payload),
-                        not_before=0.0,
+            # One cross-frame keystream pass covers the whole batch; the
+            # engine's pasta.keystream span nests under this one.
+            with tracer.span(
+                "service.encrypt",
+                metric="service.encrypt.seconds",
+                registry=obs,
+                variant=params.name,
+                omega=params.modulus_bits,
+                frames=len(jobs),
+            ) as encrypt_span:
+                pairs: List[Tuple[int, int]] = []
+                spans: List[int] = []
+                nonce_of: Dict[int, int] = {}
+                for frame_id, attempt, state in jobs:
+                    nonce = self._nonces.next()  # fresh per transmission, retries included
+                    nonce_of[frame_id] = nonce
+                    n_blocks = -(-len(elements_of[frame_id]) // t)
+                    pairs.extend((nonce, counter) for counter in range(n_blocks))
+                    spans.append(n_blocks)
+                encrypt_span.set_attribute("lanes", len(pairs))
+                keystream = self._client_engine.keystream_pairs(self.key, pairs)
+                trace_ctx = encrypt_span.context
+                wires: List[WireFrame] = []
+                row = 0
+                for (frame_id, attempt, state), n_blocks in zip(jobs, spans):
+                    elements = elements_of[frame_id]
+                    flat = keystream[row : row + n_blocks].reshape(-1)[: len(elements)]
+                    row += n_blocks
+                    ciphertext = (elements + flat) % params.p
+                    payload = ciphertext.astype("<u4").tobytes()
+                    with self._lock:
+                        state.attempts = attempt + 1
+                        state.nonces.append(nonce_of[frame_id])
+                    wires.append(
+                        WireFrame(
+                            frame_id=frame_id,
+                            attempt=attempt,
+                            nonce=nonce_of[frame_id],
+                            resolution=state.resolution,
+                            payload=payload,
+                            crc=checksum(payload),
+                            not_before=0.0,
+                            trace=trace_ctx,
+                        )
                     )
-                )
-        obs.counter("service.frames.sent").inc(len(wires))
-        obs.histogram("service.batch.frames").observe(len(wires))
+            obs.counter("service.frames.sent").inc(len(wires))
+            obs.histogram("service.batch.frames").observe(len(wires))
 
-        for wire in wires:
-            self._send(wire)
+            for wire in wires:
+                self._send(wire)
 
     def _send(self, wire: WireFrame) -> None:
         cfg = self.config
@@ -485,6 +527,7 @@ class StreamingPipeline:
                 payload=corrupt_payload(wire.payload, wire.frame_id, wire.attempt),
                 crc=wire.crc,
                 not_before=wire.not_before,
+                trace=wire.trace,
             )
         elif action is FaultAction.DELAY:
             obs.counter("service.uplink.delayed").inc()
@@ -496,14 +539,17 @@ class StreamingPipeline:
                 payload=wire.payload,
                 crc=wire.crc,
                 not_before=now + self.plan.delay_seconds,
+                trace=wire.trace,
             )
             if self.plan.delay_seconds > cfg.timeout_seconds:
                 # The sender's timer fires before the late delivery lands:
                 # it retransmits, and the sink de-duplicates the straggler.
                 self._schedule_retry(wire, now + cfg.timeout_seconds)
 
+        delivered = False
         try:
             self._uplink_q.put(wire, timeout=cfg.saturation_put_timeout)
+            delivered = True
         except queue.Full:
             obs.counter("service.saturation.events").inc()
             if not self._in_saturation:
@@ -512,12 +558,17 @@ class StreamingPipeline:
             while not self._stop.is_set():
                 try:
                     self._uplink_q.put(wire, timeout=0.05)
+                    delivered = True
                     break
                 except queue.Full:
                     continue
         else:
             self._in_saturation = False
-        obs.gauge("service.uplink.depth").set(self._uplink_q.qsize())
+        if delivered:
+            # Depth from the put's own accounting: a sampled qsize() after
+            # the fact races concurrent worker gets and under-reports the
+            # high-water mark the gauge exists to expose.
+            obs.gauge("service.uplink.depth").add(1)
 
     def _schedule_retry(self, wire: WireFrame, earliest: float) -> None:
         self.obs.counter("service.retries").inc()
@@ -537,13 +588,20 @@ class StreamingPipeline:
     def _worker(self) -> None:
         cfg = self.config
         obs = self.obs
+        idle = obs.histogram(
+            "service.worker.idle.seconds",
+            help="time a worker spends waiting for uplink frames",
+        )
         try:
             while not self._stop.is_set():
+                idle_start = time.perf_counter()
                 if self._gate is not None and not self._gate.wait(timeout=0.05):
+                    idle.observe(time.perf_counter() - idle_start)
                     continue
                 try:
                     first = self._uplink_q.get(timeout=0.05)
                 except queue.Empty:
+                    idle.observe(time.perf_counter() - idle_start)
                     continue
                 wires = [first]
                 while len(wires) < cfg.worker_batch:
@@ -551,7 +609,10 @@ class StreamingPipeline:
                         wires.append(self._uplink_q.get_nowait())
                     except queue.Empty:
                         break
-                obs.gauge("service.uplink.depth").set(self._uplink_q.qsize())
+                idle.observe(time.perf_counter() - idle_start)
+                # Mirror of the producer-side add: each get accounts for
+                # itself rather than trusting a racy qsize() sample.
+                obs.gauge("service.uplink.depth").add(-len(wires))
                 self._recover(wires)
         except BaseException as exc:
             self._fail(ServiceError(f"worker failed: {exc!r}"))
@@ -573,7 +634,21 @@ class StreamingPipeline:
             valid.append((wire, elements))
         if not valid:
             return
-        with obs.span("service.recover.seconds"):
+        # Explicit cross-thread propagation: the wire carries the producing
+        # encrypt span's context; the recover span joins that trace even
+        # though it runs on a worker thread. A drained batch can mix wires
+        # from several producer batches — parent on the first and record
+        # how many distinct traces fed it.
+        parent = valid[0][0].trace
+        with self.tracer.span(
+            "service.recover",
+            metric="service.recover.seconds",
+            registry=obs,
+            parent=parent,
+            frames=len(valid),
+            source_traces=len({w.trace.trace_id for w, _ in valid if w.trace is not None}),
+            mode=self.config.mode,
+        ):
             recovered = self.recovery.recover_batch(valid)
             for (wire, _), elements in zip(valid, recovered):
                 pixels = unpack_frames(elements[None, :], params.p)[0]
@@ -631,7 +706,17 @@ class StreamingPipeline:
         start = time.perf_counter()
         for thread in threads:
             thread.start()
-        self._produce()
+        with self.tracer.span(
+            "service.run",
+            metric="service.run.seconds",
+            registry=self.obs,
+            variant=cfg.params.name,
+            omega=cfg.params.modulus_bits,
+            mode=cfg.mode,
+            frames=cfg.n_frames,
+            workers=cfg.n_workers,
+        ):
+            self._produce()
         if not self._done.wait(timeout=cfg.run_timeout_seconds):
             self._fail(ServiceError(f"pipeline stalled past {cfg.run_timeout_seconds}s"))
         duration = time.perf_counter() - start

@@ -18,6 +18,23 @@ settings.register_profile(
 settings.load_profile("repro")
 
 
+@pytest.fixture(autouse=True)
+def _fresh_observability():
+    """Per-test metrics/trace isolation.
+
+    Every test sees a fresh default registry and tracer, so metric and
+    span state cannot leak between tests and no test needs an ad-hoc
+    ``reset()`` or private registry just for isolation.
+    """
+    from repro.obs import MetricsRegistry, Tracer, set_registry, set_tracer
+
+    previous_registry = set_registry(MetricsRegistry())
+    previous_tracer = set_tracer(Tracer())
+    yield
+    set_registry(previous_registry)
+    set_tracer(previous_tracer)
+
+
 @pytest.fixture(scope="session")
 def pasta4_key():
     from repro.pasta import PASTA_4, random_key

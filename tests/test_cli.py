@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line entry."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -27,3 +29,53 @@ class TestCli:
     def test_run_fig7(self, capsys):
         assert main(["fig7"]) == 0
         assert "MatGen" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_trace_writes_perfetto_json_and_report(self, tmp_path, capsys):
+        trace_out = tmp_path / "trace.json"
+        metrics_out = tmp_path / "metrics.prom"
+        rc = main([
+            "trace",
+            "--out", str(trace_out),
+            "--metrics-out", str(metrics_out),
+            "--frames", "16",
+            "--workers", "2",
+        ])
+        assert rc == 0
+
+        doc = json.loads(trace_out.read_text())
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        names = {e["name"] for e in events}
+        assert {"service.run", "service.produce.batch", "service.encrypt",
+                "pasta.keystream", "service.recover"} <= names
+        # Keystream slices carry the model's cycle annotation for Perfetto.
+        ks = [e for e in events if e["name"] == "pasta.keystream"]
+        assert all(e["args"]["modeled_cycles"] > 0 for e in ks)
+
+        prom = metrics_out.read_text()
+        assert "# TYPE service_encrypt_seconds summary" in prom
+        assert "service_frames_recovered_total 16" in prom
+
+        out = capsys.readouterr().out
+        assert "cycle attribution" in out
+        assert "pasta.keystream" in out
+
+    def test_trace_rejects_unknown_option(self, tmp_path, capsys):
+        assert main(["trace", "--bogus", "1"]) == 2
+        assert "unknown trace option" in capsys.readouterr().err
+
+
+class TestPerfgateCommand:
+    def test_perfgate_against_committed_baselines(self, capsys):
+        from pathlib import Path
+
+        bench_dir = Path(__file__).parent.parent / "benchmarks"
+        # Generous tolerance: this checks wiring, not runner speed.
+        rc = main(["perfgate", "--current", str(bench_dir),
+                   "--baseline", str(bench_dir / "baselines"),
+                   "--tolerance", "1000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pipeline_fps" in out
+        assert "verdict" in out

@@ -5,7 +5,16 @@ import threading
 
 import pytest
 
-from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, get_registry, set_registry
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    metric_key,
+    set_registry,
+)
+from repro.obs.metrics import DEFAULT_RESERVOIR
 
 
 class TestCounter:
@@ -79,6 +88,33 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram("h").percentile(101)
 
+    def test_reservoir_percentiles_unbiased_past_capacity(self):
+        # Regression for the old systematic keep-every-k-th subsampling,
+        # which over-weighted early observations: an ascending stream far
+        # past the reservoir bound must still estimate percentiles near
+        # their true ranks. Algorithm R with the fixed seed makes this
+        # deterministic.
+        h = Histogram("h")
+        n = 4 * DEFAULT_RESERVOIR  # 16384 observations, well past 4096
+        for v in range(n):
+            h.observe(float(v))
+        assert h.count == n
+        assert h.sum == pytest.approx(n * (n - 1) / 2)
+        assert len(h._samples) == DEFAULT_RESERVOIR
+        s = h.summary()
+        assert s["min"] == 0.0 and s["max"] == float(n - 1)  # moments exact
+        for q in (10, 25, 50, 75, 90):
+            assert h.percentile(q) == pytest.approx(q / 100 * n, rel=0.05), q
+
+    def test_reservoir_draws_are_seeded(self):
+        def fill():
+            h = Histogram("h", reservoir=32)
+            for v in range(1000):
+                h.observe(float(v))
+            return list(h._samples)
+
+        assert fill() == fill()
+
 
 class TestRegistry:
     def test_same_name_same_metric(self):
@@ -130,3 +166,104 @@ class TestRegistry:
             assert get_registry() is mine
         finally:
             set_registry(previous)
+
+
+class TestLabels:
+    def test_metric_key_sorts_labels(self):
+        assert metric_key("m", {}) == "m"
+        assert metric_key("m", {"b": 2, "a": "x"}) == 'm{a="x",b="2"}'
+
+    def test_same_labels_same_metric(self):
+        reg = MetricsRegistry()
+        a = reg.counter("lanes", variant="pasta3", omega=17)
+        b = reg.counter("lanes", omega=17, variant="pasta3")  # order-insensitive
+        assert a is b
+        assert a is not reg.counter("lanes", variant="pasta4", omega=32)
+        assert a is not reg.counter("lanes")
+
+    def test_snapshot_keys_and_records_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("pasta.keystream.lanes", variant="pasta3", omega=17).inc(128)
+        snap = reg.snapshot()
+        key = 'pasta.keystream.lanes{omega="17",variant="pasta3"}'
+        assert snap[key]["value"] == 128
+        assert snap[key]["name"] == "pasta.keystream.lanes"
+        assert snap[key]["labels"] == {"variant": "pasta3", "omega": "17"}
+
+    def test_kind_conflict_per_label_set(self):
+        reg = MetricsRegistry()
+        reg.counter("x", lane="0")
+        reg.gauge("x", lane="1")  # different label set: no clash
+        with pytest.raises(TypeError):
+            reg.histogram("x", lane="0")
+
+
+class TestConcurrency:
+    def test_hammered_metrics_stay_exact_under_snapshot(self):
+        # N threads hammer one counter and one histogram while another
+        # thread snapshots the registry the whole time: totals must come
+        # out exact and every snapshot internally consistent.
+        reg = get_registry()
+        counter = reg.counter("hammer.count")
+        hist = reg.histogram("hammer.lat")
+        n_threads, per_thread = 8, 2000
+        stop = threading.Event()
+        snapshots = []
+
+        def snapper():
+            while not stop.is_set():
+                snapshots.append(reg.snapshot())
+
+        def hammer():
+            for k in range(per_thread):
+                counter.inc()
+                hist.observe(float(k))
+
+        watcher = threading.Thread(target=snapper)
+        workers = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        watcher.start()
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        stop.set()
+        watcher.join()
+
+        total = n_threads * per_thread
+        assert counter.value == total
+        assert hist.count == total
+        assert hist.sum == pytest.approx(n_threads * sum(range(per_thread)))
+        assert len(hist._samples) <= DEFAULT_RESERVOIR
+        assert snapshots, "snapshot thread never ran"
+        observed = [s["hammer.count"]["value"] for s in snapshots if "hammer.count" in s]
+        assert observed == sorted(observed)  # counter never goes backwards
+        assert all(0 <= v <= total for v in observed)
+
+    def test_concurrent_labeled_creation_is_single_instance(self):
+        reg = get_registry()
+        barrier = threading.Barrier(8)
+
+        def create(lane):
+            barrier.wait()
+            for _ in range(500):
+                reg.counter("lanes", lane=lane % 2).inc()
+
+        threads = [threading.Thread(target=create, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("lanes", lane=0).value == 2000
+        assert reg.counter("lanes", lane=1).value == 2000
+
+
+class TestFixtureIsolation:
+    """The autouse conftest fixture gives every test a fresh registry."""
+
+    def test_fixture_installs_fresh_registry(self):
+        assert get_registry().names() == []
+        get_registry().counter("leak.probe").inc()
+
+    def test_state_does_not_leak_between_tests(self):
+        assert "leak.probe" not in get_registry().names()
+        get_registry().counter("leak.probe").inc()

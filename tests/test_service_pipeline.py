@@ -12,8 +12,8 @@ import pytest
 
 from repro.apps.video import Resolution, synthetic_frame
 from repro.errors import ParameterError, ServiceError
-from repro.obs import MetricsRegistry
-from repro.pasta.params import PASTA_MICRO
+from repro.obs import get_registry, get_tracer
+from repro.pasta.params import PASTA_MICRO, PASTA_TOY
 from repro.service import (
     NO_FAULTS,
     FaultAction,
@@ -26,8 +26,12 @@ from repro.service import (
     corrupt_payload,
 )
 
+# The conftest autouse fixture installs a fresh default registry and
+# tracer per test, so the pipeline (and these tests) just use the
+# globals — no per-test registry plumbing or resets needed.
 
-def run_pipeline(plan=NO_FAULTS, registry=None, **overrides):
+
+def run_pipeline(plan=NO_FAULTS, **overrides):
     defaults = dict(
         n_frames=24,
         resolution=TILE8,
@@ -39,7 +43,7 @@ def run_pipeline(plan=NO_FAULTS, registry=None, **overrides):
     )
     defaults.update(overrides)
     config = ServiceConfig(**defaults)
-    return StreamingPipeline(config, plan, registry=registry or MetricsRegistry()).run()
+    return StreamingPipeline(config, plan).run()
 
 
 def expected_pixels(frame):
@@ -92,13 +96,21 @@ class TestCleanRun:
         assert len(drawn) == len(set(drawn)) == 24
 
     def test_metrics_cover_stages(self):
-        registry = MetricsRegistry()
-        result = run_pipeline(registry=registry)
+        result = run_pipeline()
         snap = result.metrics
         for stage in ("service.synthesize.seconds", "service.encrypt.seconds",
-                      "service.recover.seconds", "service.frame_latency.seconds"):
+                      "service.recover.seconds", "service.frame_latency.seconds",
+                      "service.worker.idle.seconds"):
             assert snap[stage]["count"] > 0, stage
         assert snap["service.frames.recovered"]["value"] == 24
+
+    def test_uplink_depth_balances_to_zero(self):
+        run_pipeline()
+        depth = get_registry().gauge("service.uplink.depth")
+        # Every producer-side put was matched by a worker-side drain, and
+        # the queue genuinely held frames at some point.
+        assert depth.value == 0
+        assert depth.max >= 1
 
     def test_zero_frames(self):
         result = run_pipeline(n_frames=0)
@@ -130,10 +142,9 @@ class TestFaultRecovery:
         assert result.attempts[7] == 3
 
     def test_corruption_detected_and_retried(self):
-        registry = MetricsRegistry()
         plan = FaultPlan(corrupt_at=frozenset({(1, 0), (12, 0)}))
-        result = run_pipeline(plan, registry=registry)
-        assert registry.counter("service.crc.rejected").value == 2
+        result = run_pipeline(plan)
+        assert get_registry().counter("service.crc.rejected").value == 2
         for frame in result.frames:
             assert frame.pixels == expected_pixels(frame)
 
@@ -145,11 +156,11 @@ class TestFaultRecovery:
             assert frame.pixels == expected_pixels(frame)
 
     def test_late_delivery_is_deduplicated(self):
-        registry = MetricsRegistry()
         plan = FaultPlan(delay_at=frozenset({(5, 0)}), delay_seconds=0.02)
-        result = run_pipeline(plan, registry=registry, timeout_seconds=0.002)
+        result = run_pipeline(plan, timeout_seconds=0.002)
         assert len(result.frames) == 24
         # the delayed original AND its retransmit both arrive; one is dropped
+        registry = get_registry()
         assert (
             registry.counter("service.frames.duplicate").value
             + registry.counter("service.frames.recovered").value
@@ -167,13 +178,13 @@ class TestFaultRecovery:
             backoff_max_seconds=0.002,
         )
         with pytest.raises(ServiceError):
-            StreamingPipeline(config, plan, registry=MetricsRegistry()).run()
+            StreamingPipeline(config, plan).run()
 
 
 class TestBackpressureDegradation:
     def test_saturation_triggers_exactly_one_downshift(self):
         gate = threading.Event()  # workers held until we release them
-        registry = MetricsRegistry()
+        registry = get_registry()
         config = ServiceConfig(
             n_frames=24,
             resolution=TILE16,
@@ -183,7 +194,7 @@ class TestBackpressureDegradation:
             queue_capacity=2,
             saturation_put_timeout=0.01,
         )
-        pipeline = StreamingPipeline(config, NO_FAULTS, registry=registry, worker_gate=gate)
+        pipeline = StreamingPipeline(config, NO_FAULTS, worker_gate=gate)
         runner = threading.Thread(target=lambda: setattr(pipeline, "_test_result", pipeline.run()))
         runner.start()
         # Wait until the producer has actually hit a full queue.
@@ -205,8 +216,7 @@ class TestBackpressureDegradation:
             assert frame.pixels == expected_pixels(frame)
 
     def test_no_downshift_without_ladder(self):
-        registry = MetricsRegistry()
-        result = run_pipeline(registry=registry, queue_capacity=1, saturation_put_timeout=0.001)
+        result = run_pipeline(queue_capacity=1, saturation_put_timeout=0.001)
         assert result.degradation_steps == 0
         assert len(result.frames) == 24
 
@@ -231,6 +241,72 @@ class TestHheMode:
         for frame in result.frames:
             assert frame.pixels == expected_pixels(frame)
         assert result.attempts[1] == 2
+
+
+class TestTracePropagation:
+    """Spans nest within the producer thread and join across thread hops."""
+
+    def test_producer_spans_nest_run_to_keystream(self):
+        run_pipeline()
+        tracer = get_tracer()
+        by_id = {s.span_id: s for s in tracer.finished_spans()}
+
+        (run,) = tracer.spans_named("service.run")
+        assert run.parent_id is None
+        assert run.attributes["variant"] == PASTA_TOY.name
+        assert run.attributes["omega"] == PASTA_TOY.modulus_bits
+        assert run.attributes["frames"] == 24
+
+        batches = tracer.spans_named("service.produce.batch")
+        assert batches
+        assert all(b.parent_id == run.span_id for b in batches)
+        assert all(b.trace_id == run.trace_id for b in batches)
+
+        encrypts = tracer.spans_named("service.encrypt")
+        assert encrypts
+        for enc in encrypts:
+            assert by_id[enc.parent_id].name == "service.produce.batch"
+            assert enc.attributes["lanes"] > 0
+
+        # The keystream engine is three frames down the call stack; its
+        # span still lands under the enclosing stage via the context
+        # variable. Both the producer (encrypt) and the workers (recover,
+        # which regenerates the keystream) drive the engine.
+        keystreams = tracer.spans_named("pasta.keystream")
+        assert keystreams
+        parents = {by_id[ks.parent_id].name for ks in keystreams}
+        assert parents == {"service.encrypt", "service.recover"}
+        assert all(ks.trace_id == run.trace_id for ks in keystreams)
+
+    def test_keystream_spans_carry_modeled_cycles(self):
+        run_pipeline()
+        for ks in get_tracer().spans_named("pasta.keystream"):
+            attrs = ks.attributes
+            assert attrs["variant"] == PASTA_TOY.name
+            assert attrs["omega"] == PASTA_TOY.modulus_bits
+            assert attrs["modeled_cycles"] == (
+                attrs["modeled_cycles_per_block"] * attrs["modeled_blocks"]
+            )
+            assert attrs["modeled_blocks"] == attrs["lanes"]
+            assert attrs["modeled_cycles_per_block"] > 0
+
+    def test_recover_spans_join_producer_trace_across_threads(self):
+        run_pipeline()
+        tracer = get_tracer()
+        (run,) = tracer.spans_named("service.run")
+        encrypt_ids = {s.span_id for s in tracer.spans_named("service.encrypt")}
+        recovers = tracer.spans_named("service.recover")
+        assert recovers
+        for rec in recovers:
+            # Explicitly parented via the SpanContext carried in WireFrame:
+            # same trace as the producer, even though the span was recorded
+            # on a worker thread where the context variable is empty.
+            assert rec.trace_id == run.trace_id
+            assert rec.parent_id in encrypt_ids
+            assert rec.thread_id != run.thread_id
+            assert rec.thread_name.startswith("service-worker")
+            assert rec.attributes["frames"] >= 1
+            assert rec.attributes["source_traces"] >= 1
 
 
 class TestConfigValidation:
