@@ -59,8 +59,8 @@ GATED_METRICS: Dict[str, Tuple[Tuple[str, str], ...]] = {
         ("speedup", "higher"),
         ("faulted.fps", "higher"),
     ),
-    "BENCH_transcipher_throughput.json": (
-        ("engines.rns.blocks_per_s", "higher"),
+    "BENCH_hom_affine.json": (
+        ("engines.tensor.blocks_per_s", "higher"),
         ("speedup", "higher"),
     ),
     "BENCH_obs_overhead.json": (

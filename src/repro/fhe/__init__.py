@@ -10,12 +10,21 @@ from repro.fhe.bfv import (
     SecretKey,
     toy_parameters,
 )
-from repro.fhe.engine import BigintEngine, PreparedPlain, RnsEngine, make_engine
+from repro.fhe.engine import (
+    BigintEngine,
+    CiphertextTensor,
+    PreparedPlain,
+    RnsEngine,
+    make_engine,
+)
 from repro.fhe.ntt import NegacyclicNtt, bitrev_indices, get_ntt
 from repro.fhe.ntt_vec import VecNtt, butterfly_fits_int64, get_vec_ntt
 from repro.fhe.poly import Rq, centered, convolve_signed, negacyclic_mul_exact
 from repro.fhe.rng import PolyRng
 from repro.fhe.rns import (
+    ExactBaseLift,
+    ExactRescaler,
+    MixedRadix,
     RnsContext,
     RnsPoly,
     get_rns_context,
@@ -29,6 +38,10 @@ __all__ = [
     "BfvParams",
     "BigintEngine",
     "Ciphertext",
+    "CiphertextTensor",
+    "ExactBaseLift",
+    "ExactRescaler",
+    "MixedRadix",
     "NegacyclicNtt",
     "PolyRng",
     "PreparedPlain",

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+import numpy as np
+
 from repro.errors import ParameterError
 from repro.fhe.ntt import get_ntt
 from repro.fhe.ntt_vec import get_vec_ntt
@@ -47,6 +49,22 @@ class BatchEncoder:
         if len(poly) != self.n:
             raise ParameterError(f"expected {self.n} coefficients, got {len(poly)}")
         return [int(c) for c in self.vec.forward([[int(c) % self.p for c in poly]])[0]]
+
+    def encode_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Batch encode: ``(R, k <= N)`` slot rows -> ``(R, N)`` polynomial rows.
+
+        One batched inverse NTT replaces R scalar :meth:`encode` calls — the
+        path the prepared-matrix tensors of the batched HHE server take
+        (R = t^2 slot vectors per affine layer side).
+        """
+        values = np.asarray(rows)
+        if values.ndim != 2:
+            raise ParameterError(f"encode_rows expects a 2-D slot matrix, got {values.shape}")
+        if values.shape[1] > self.n:
+            raise ParameterError(f"at most {self.n} slots, got {values.shape[1]}")
+        padded = np.zeros((values.shape[0], self.n), dtype=self.vec.dtype)
+        padded[:, : values.shape[1]] = values % self.p
+        return self.vec.inverse(padded[:, None, :])[:, 0, :]
 
     def constant(self, value: int) -> List[int]:
         """Encode the same value into every slot (= the constant polynomial).

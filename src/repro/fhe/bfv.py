@@ -25,8 +25,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.errors import NoiseBudgetExhausted, ParameterError
-from repro.fhe.engine import PreparedPlain, make_engine, round_div
+from repro.fhe.engine import CiphertextTensor, PreparedPlain, make_engine, round_div
 from repro.fhe.rns import ntt_prime_chain
 from repro.fhe.rng import PolyRng
 
@@ -348,6 +350,127 @@ class Bfv:
 
     def square(self, ct: Ciphertext, rlk: RelinKey) -> Ciphertext:
         return self.multiply(ct, ct, rlk)
+
+    # -- fused ciphertext-tensor operations (RNS engine only) ---------------------
+
+    def _tensor_engine(self):
+        if self.engine.name != "rns":
+            raise ParameterError(
+                "ciphertext-tensor kernels require the RNS engine "
+                f"(this scheme runs {self.engine.name!r})"
+            )
+        return self.engine
+
+    def stack_ciphertexts(self, cts: Sequence[Ciphertext]) -> CiphertextTensor:
+        """Stack same-size ciphertexts into one eval-domain residue tensor."""
+        return self._tensor_engine().stack_polys([ct.parts for ct in cts])
+
+    def unstack_ciphertexts(self, tensor: CiphertextTensor) -> List[Ciphertext]:
+        return [Ciphertext(parts=row) for row in self._tensor_engine().unstack_polys(tensor)]
+
+    def _take_prepared_tensor(self, prepared: PreparedPlain, kind: str) -> np.ndarray:
+        if not isinstance(prepared, PreparedPlain) or prepared.kind != kind or (
+            prepared.engine != self.engine.name
+        ):
+            got = (
+                f"{prepared.kind!r}/{prepared.engine!r}"
+                if isinstance(prepared, PreparedPlain)
+                else type(prepared).__name__
+            )
+            raise ParameterError(
+                f"prepared plaintext is {got}, needed {kind!r}/{self.engine.name!r}"
+            )
+        return prepared.value
+
+    def prepare_matrix(self, encoded_rows: np.ndarray) -> PreparedPlain:
+        """Prepare a (J, K, N) stack of encoded plaintext polynomials for
+        :meth:`tensor_affine`.
+
+        Each (j, k) polynomial is centered mod p (same lift as
+        ``prepare_mul_plain``), reduced into the RNS basis, and forward
+        transformed — one batched NTT for the whole matrix instead of J*K
+        scalar handle transforms.
+        """
+        eng = self._tensor_engine()
+        encoded = np.asarray(encoded_rows)
+        if encoded.ndim != 3 or encoded.shape[-1] != self.params.n:
+            raise ParameterError(
+                f"expected a (J, K, {self.params.n}) encoded matrix, got {encoded.shape}"
+            )
+        p = self.params.p
+        half = p // 2
+        reduced = encoded % p
+        centered = np.where(reduced > half, reduced - p, reduced)
+        value = eng.ctx.forward(eng.ctx.to_rns_batch(centered))
+        return PreparedPlain(kind="matmul", engine=eng.name, value=value)
+
+    def prepare_add_rows(self, encoded_rows: np.ndarray) -> PreparedPlain:
+        """Prepare a (J, N) stack of encoded plaintexts for broadcast addition.
+
+        Rows are reduced mod p, Delta-scaled per residue prime, and forward
+        transformed — the batched analogue of ``prepare_add_plain``.
+        """
+        eng = self._tensor_engine()
+        encoded = np.asarray(encoded_rows)
+        if encoded.ndim != 2 or encoded.shape[-1] != self.params.n:
+            raise ParameterError(
+                f"expected a (J, {self.params.n}) encoded row stack, got {encoded.shape}"
+            )
+        residues = eng.ctx.to_rns_batch(encoded % self.params.p)
+        delta = eng.ctx.scalar_residues(self.params.delta)
+        value = eng.ctx.forward(eng.ctx.mod_mul(residues, delta))
+        return PreparedPlain(kind="add_rows", engine=eng.name, value=value)
+
+    def tensor_affine(
+        self,
+        state: CiphertextTensor,
+        matrix: PreparedPlain,
+        rc: Optional[PreparedPlain] = None,
+    ) -> CiphertextTensor:
+        """Fused affine layer: prepared matrix einsum + round-constant add."""
+        eng = self._tensor_engine()
+        rc_rows = self._take_prepared_tensor(rc, "add_rows") if rc is not None else None
+        return eng.tensor_affine(self._take_prepared_tensor(matrix, "matmul"), state, rc_rows)
+
+    def tensor_add(self, a: CiphertextTensor, b: CiphertextTensor) -> CiphertextTensor:
+        if a.data.shape != b.data.shape:
+            raise ParameterError("tensor addition requires matching shapes")
+        return self._tensor_engine().tensor_add(a, b)
+
+    def tensor_neg(self, a: CiphertextTensor) -> CiphertextTensor:
+        return self._tensor_engine().tensor_neg(a)
+
+    def tensor_add_plain_rows(self, state: CiphertextTensor, rows: PreparedPlain) -> CiphertextTensor:
+        return self._tensor_engine().tensor_add_rows(
+            state, self._take_prepared_tensor(rows, "add_rows")
+        )
+
+    def _relin_key_stacks(self, rlk: RelinKey):
+        stacks = getattr(rlk, "_tensor_stacks", None)
+        if stacks is None:
+            stacks = self._tensor_engine().relin_key_stacks(rlk.parts)
+            rlk._tensor_stacks = stacks
+        return stacks
+
+    def tensor_square(self, state: CiphertextTensor, rlk: RelinKey) -> CiphertextTensor:
+        """Batched square + relinearize of every slot of the tensor."""
+        eng = self._tensor_engine()
+        parts3 = eng.tensor_scale_batch(state)
+        return eng.tensor_relin(
+            parts3, self.params.relin_base, self.params.relin_parts, self._relin_key_stacks(rlk)
+        )
+
+    def tensor_mul(
+        self, a: CiphertextTensor, b: CiphertextTensor, rlk: RelinKey
+    ) -> CiphertextTensor:
+        """Batched slot-wise multiply + relinearize (a[s] * b[s] per slot)."""
+        if a.slots != b.slots:
+            raise ParameterError("tensor multiply requires matching slot counts")
+        eng = self._tensor_engine()
+        parts3 = eng.tensor_scale_batch(a, b)
+        return eng.tensor_relin(
+            parts3, self.params.relin_base, self.params.relin_parts, self._relin_key_stacks(rlk)
+        )
 
     def expect_correct(self, sk: SecretKey, ct: Ciphertext, expected: int) -> None:
         """Raise :class:`NoiseBudgetExhausted` if decryption mismatches."""

@@ -23,16 +23,29 @@ decryptions and noise budgets under either — pinned by
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Sequence
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
 
 from repro.errors import ParameterError
 from repro.fhe.poly import Rq, negacyclic_mul_exact
-from repro.fhe.rns import RnsPoly, get_rns_context, ntt_prime_chain
+from repro.fhe.rns import (
+    ExactBaseLift,
+    ExactRescaler,
+    RnsContext,
+    RnsPoly,
+    get_rns_context,
+    ntt_prime_chain,
+)
 
 
 def round_div(numerator: int, denominator: int) -> int:
     """Round-to-nearest integer division (ties away from floor)."""
     return (2 * numerator + denominator) // (2 * denominator)
+
+
+#: Largest relinearization digit base whose digits always fit int64.
+_DIGIT_INT64_MAX = 1 << 62
 
 
 @dataclass(frozen=True)
@@ -47,6 +60,55 @@ class PreparedPlain:
     kind: str
     engine: str
     value: Any
+
+
+@dataclass
+class CiphertextTensor:
+    """A stack of same-shape ciphertexts as one NTT-domain residue ndarray.
+
+    ``data`` has shape ``(slots, parts, L, N)``: ``slots`` stacked
+    ciphertexts (the t PASTA state elements), each of ``parts`` ring
+    polynomials held as eval-domain ``(L, N)`` residue matrices. Every
+    fused kernel (affine einsum, elementwise add/neg, batched
+    square/multiply) acts on the whole stack per numpy pass and *stays* in
+    the eval domain; coefficients are only rematerialized inside
+    ``tensor_scale`` / relinearization, the CRT boundaries the scalar path
+    crosses per ciphertext.
+    """
+
+    ctx: RnsContext
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        expected = (len(self.ctx.primes), self.ctx.n)
+        if self.data.ndim != 4 or self.data.shape[-2:] != expected:
+            raise ParameterError(
+                f"expected (slots, parts, {expected[0]}, {expected[1]}) residue "
+                f"data, got {self.data.shape}"
+            )
+
+    @property
+    def slots(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def parts(self) -> int:
+        return self.data.shape[1]
+
+    def __getitem__(self, index) -> "CiphertextTensor":
+        """Slice along the slot axis (always returns a tensor, never a row)."""
+        if isinstance(index, int):
+            index = slice(index, index + 1)
+        return CiphertextTensor(self.ctx, self.data[index])
+
+    @classmethod
+    def concat(cls, tensors: Sequence["CiphertextTensor"]) -> "CiphertextTensor":
+        if not tensors:
+            raise ParameterError("concat needs at least one tensor")
+        ctx = tensors[0].ctx
+        if any(t.ctx is not ctx for t in tensors):
+            raise ParameterError("cannot concat tensors from different RNS contexts")
+        return cls(ctx, np.concatenate([t.data for t in tensors], axis=0))
 
 
 class BigintEngine:
@@ -145,6 +207,16 @@ class RnsEngine:
         # centered operands is <= N (q/2)^2, and d1 sums two such products.
         ext_bits = (n * (q // 2 + 1) ** 2).bit_length() + 3
         self.ext = get_rns_context(n, ntt_prime_chain(n, ext_bits))
+        # Exact int64 base transport for the fused tensor kernels: centered
+        # ctx -> ext lift on the way into a tensor product, and the p/q
+        # rescale back, both via Garner digits (no big ints). Chains with an
+        # object dtype fall back to the CRT-reconstruction path.
+        if self.ctx.dtype is not object and self.ext.dtype is not object:
+            self._tensor_lift: Optional[ExactBaseLift] = ExactBaseLift(self.ctx, self.ext.primes)
+            self._tensor_rescale: Optional[ExactRescaler] = ExactRescaler(self.ext, p, self.ctx)
+        else:
+            self._tensor_lift = None
+            self._tensor_rescale = None
 
     # -- representation ----------------------------------------------------------
 
@@ -218,6 +290,142 @@ class RnsEngine:
             digits.append(self.lift([c % base for c in remainder]))
             remainder = [c // base for c in remainder]
         return digits
+
+    # -- fused ciphertext-tensor kernels -------------------------------------------
+
+    def stack_polys(self, rows: Sequence[Sequence[RnsPoly]]) -> CiphertextTensor:
+        """Stack ciphertext part lists into one eval-domain (slots, parts, L, N)."""
+        if not rows:
+            raise ParameterError("cannot stack zero ciphertexts")
+        parts = len(rows[0])
+        if any(len(row) != parts for row in rows):
+            raise ParameterError("all stacked ciphertexts must have the same part count")
+        data = np.stack([np.stack([p.eval_mat() for p in row]) for row in rows])
+        return CiphertextTensor(self.ctx, np.array(data, dtype=self.ctx.dtype))
+
+    def unstack_polys(self, tensor: CiphertextTensor) -> List[List[RnsPoly]]:
+        """The inverse of :meth:`stack_polys`: per-slot lists of eval-domain polys."""
+        return [
+            [RnsPoly(self.ctx, evals=np.array(tensor.data[s, p])) for p in range(tensor.parts)]
+            for s in range(tensor.slots)
+        ]
+
+    def tensor_add(self, a: CiphertextTensor, b: CiphertextTensor) -> CiphertextTensor:
+        return CiphertextTensor(self.ctx, self.ctx.mod_add(a.data, b.data))
+
+    def tensor_neg(self, a: CiphertextTensor) -> CiphertextTensor:
+        return CiphertextTensor(self.ctx, self.ctx.mod_neg(a.data))
+
+    def tensor_affine(
+        self,
+        matrix: np.ndarray,
+        state: CiphertextTensor,
+        rc: Optional[np.ndarray] = None,
+    ) -> CiphertextTensor:
+        """Fused affine layer: one chunked einsum per residue prime.
+
+        ``matrix`` is a prepared (J, K, L, N) eval-domain plaintext tensor,
+        ``state`` the (K, parts, L, N) ciphertext tensor; ``rc`` an optional
+        (J, L, N) Delta-scaled round-constant stack added onto part 0 (the
+        broadcast equivalent of ``add_plain_poly``).
+        """
+        out = self.ctx.matmul_mod(matrix, state.data)
+        if rc is not None:
+            out[:, 0] = self.ctx.mod_add(out[:, 0], rc)
+        return CiphertextTensor(self.ctx, out)
+
+    def tensor_add_rows(self, state: CiphertextTensor, rows: np.ndarray) -> CiphertextTensor:
+        """Add a prepared (slots, L, N) Delta-scaled plaintext stack onto part 0."""
+        if rows.shape[0] != state.slots:
+            raise ParameterError(f"expected {state.slots} plaintext rows, got {rows.shape[0]}")
+        out = np.array(state.data)
+        out[:, 0] = self.ctx.mod_add(out[:, 0], rows)
+        return CiphertextTensor(self.ctx, out)
+
+    def _tensor_ext_forward(self, data: np.ndarray) -> np.ndarray:
+        """Eval-domain ciphertext parts -> ext-basis NTT of the centered values."""
+        coeff = self.ctx.inverse(data)
+        if self._tensor_lift is not None:
+            lifted = self._tensor_lift.lift_centered(coeff)
+        else:
+            centered = self.ctx.from_rns_centered_batch(coeff)
+            lifted = self.ext.to_rns_batch(centered)
+        return self.ext.forward(lifted)
+
+    def tensor_scale_batch(
+        self, a: CiphertextTensor, b: Optional[CiphertextTensor] = None
+    ) -> np.ndarray:
+        """Batched BFV tensor product: (B, 2, L, N) -> (B, 3, L, N) eval-domain.
+
+        ``b=None`` squares. Bit-identical per slot to :meth:`tensor_scale`:
+        same extended basis, same d1 = cross1 + cross2 modular sum, same
+        round_div(p*c, q) rescale (via the exact mixed-radix transport on
+        int64 chains).
+        """
+        from repro.obs import get_registry, get_tracer
+
+        slots = a.slots
+        get_registry().counter("fhe.tensor_scale.calls", engine="tensor").inc(slots)
+        with get_tracer().span(
+            "fhe.tensor_scale",
+            metric="fhe.tensor_scale.seconds",
+            engine="tensor",
+            slots=slots,
+        ):
+            return self._tensor_scale_batch(a, b)
+
+    def _tensor_scale_batch(
+        self, a: CiphertextTensor, b: Optional[CiphertextTensor]
+    ) -> np.ndarray:
+        if a.parts != 2 or (b is not None and b.parts != 2):
+            raise ParameterError("tensor products expect 2-part ciphertext tensors")
+        ext = self.ext
+        fa = self._tensor_ext_forward(a.data)
+        fb = fa if b is None else self._tensor_ext_forward(b.data)
+        d0 = ext.mod_mul(fa[:, 0], fb[:, 0])
+        d1 = ext.mod_add(ext.mod_mul(fa[:, 0], fb[:, 1]), ext.mod_mul(fa[:, 1], fb[:, 0]))
+        d2 = ext.mod_mul(fa[:, 1], fb[:, 1])
+        exact = ext.inverse(np.stack([d0, d1, d2], axis=1))
+        if self._tensor_rescale is not None:
+            scaled = self._tensor_rescale.rescale(exact)
+        else:
+            values = ext.from_rns_centered_batch(exact)
+            reduced = (2 * self.p * values + self.q) // (2 * self.q) % self.q
+            scaled = self.ctx.to_rns_batch(reduced)
+        return self.ctx.forward(scaled)
+
+    def relin_key_stacks(self, rlk_parts: Sequence[Sequence[RnsPoly]]) -> tuple:
+        """(D, L, N) eval-domain stacks of the relinearization key halves."""
+        b_stack = np.stack([b.eval_mat() for b, _ in rlk_parts])
+        a_stack = np.stack([a.eval_mat() for _, a in rlk_parts])
+        return (
+            np.array(b_stack, dtype=self.ctx.dtype),
+            np.array(a_stack, dtype=self.ctx.dtype),
+        )
+
+    def tensor_relin(
+        self, parts3: np.ndarray, base: int, count: int, key_stacks: tuple
+    ) -> CiphertextTensor:
+        """Batched base-T relinearization of (B, 3, L, N) eval-domain parts.
+
+        The digit decomposition runs through one CRT reconstruction of the
+        c2 stack; each base-T digit fits int64 (base = 2^62), so the digit
+        lifts and the weighted key contraction stay on the vectorized path.
+        """
+        b_stack, a_stack = key_stacks
+        c2 = self.ctx.from_rns_batch(self.ctx.inverse(parts3[:, 2]))  # (B, N) object
+        digit_mats = []
+        remainder = c2
+        for _ in range(count):
+            digit = remainder % base
+            if base <= _DIGIT_INT64_MAX:
+                digit = digit.astype(np.int64)
+            digit_mats.append(self.ctx.to_rns_batch(digit))
+            remainder = remainder // base
+        digits = self.ctx.forward(np.stack(digit_mats, axis=1))  # (B, D, L, N)
+        new0 = self.ctx.mod_add(parts3[:, 0], self.ctx.weighted_sum_mod(digits, b_stack))
+        new1 = self.ctx.mod_add(parts3[:, 1], self.ctx.weighted_sum_mod(digits, a_stack))
+        return CiphertextTensor(self.ctx, np.stack([new0, new1], axis=1))
 
 
 def make_engine(params: "Any", engine: str):

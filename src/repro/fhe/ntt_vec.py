@@ -63,45 +63,56 @@ class VecNtt:
 
     def _check(self, mat: np.ndarray) -> np.ndarray:
         mat = np.asarray(mat)
-        if mat.shape != (len(self.primes), self.n):
+        if mat.ndim < 2 or mat.shape[-2:] != (len(self.primes), self.n):
             raise ParameterError(
-                f"expected a ({len(self.primes)}, {self.n}) residue matrix, got {mat.shape}"
+                f"expected a (..., {len(self.primes)}, {self.n}) residue matrix, "
+                f"got {mat.shape}"
             )
         return np.array(mat, dtype=self.dtype)
 
     def forward(self, mat: np.ndarray) -> np.ndarray:
-        """Coefficient rows -> bit-reversed NTT rows (CT butterflies)."""
+        """Coefficient rows -> bit-reversed NTT rows (CT butterflies).
+
+        Accepts ``(..., L, N)``: any stack of residue matrices (ciphertext
+        tensors, prepared-matrix tensors) advances through each butterfly
+        stage in one numpy pass; the trailing two axes are the transform.
+        """
         a = self._check(mat)
-        L, n = a.shape
+        lead = a.shape[:-2]
+        L, n = a.shape[-2:]
         t, m = n, 1
         while m < n:
             t //= 2
-            view = a.reshape(L, m, 2, t)
+            view = a.reshape(lead + (L, m, 2, t))
             w = self._psis[:, m : 2 * m].reshape(L, m, 1)
-            u = view[:, :, 0, :]
-            v = (view[:, :, 1, :] * w) % self._q
+            u = view[..., 0, :]
+            v = (view[..., 1, :] * w) % self._q
             total = (u + v) % self._q
             diff = (u - v) % self._q
-            view[:, :, 0, :] = total
-            view[:, :, 1, :] = diff
+            view[..., 0, :] = total
+            view[..., 1, :] = diff
             m *= 2
         return a
 
     def inverse(self, mat: np.ndarray) -> np.ndarray:
-        """Bit-reversed NTT rows -> coefficient rows (GS butterflies)."""
+        """Bit-reversed NTT rows -> coefficient rows (GS butterflies).
+
+        Accepts ``(..., L, N)`` like :meth:`forward`.
+        """
         a = self._check(mat)
-        L, n = a.shape
+        lead = a.shape[:-2]
+        L, n = a.shape[-2:]
         t, m = 1, n
         while m > 1:
             h = m // 2
-            view = a.reshape(L, h, 2, t)
+            view = a.reshape(lead + (L, h, 2, t))
             w = self._psis_inv[:, h : 2 * h].reshape(L, h, 1)
-            u = view[:, :, 0, :]
-            v = view[:, :, 1, :]
+            u = view[..., 0, :]
+            v = view[..., 1, :]
             total = (u + v) % self._q
             diff = ((u - v) * w) % self._q
-            view[:, :, 0, :] = total
-            view[:, :, 1, :] = diff
+            view[..., 0, :] = total
+            view[..., 1, :] = diff
             t *= 2
             m = h
         return (a * self._n_inv) % self._q_col

@@ -34,7 +34,7 @@ import numpy as np
 
 from repro.errors import ParameterError
 from repro.ff.primality import is_prime
-from repro.fhe.ntt_vec import VecNtt, get_vec_ntt
+from repro.fhe.ntt_vec import VecNtt, butterfly_fits_int64, get_vec_ntt
 
 _INT64_MAX = (1 << 63) - 1
 
@@ -102,6 +102,12 @@ class RnsContext:
             [pow(m % q, q - 2, q) for m, q in zip(self._crt_big, primes)], dtype=self.dtype
         ).reshape(len(primes), 1)
         self._q_col = np.array(primes, dtype=self.dtype).reshape(len(primes), 1)
+        # Largest residue-product chunk that cannot overflow int64 when one
+        # already-reduced addend rides along (same headroom shape as the
+        # butterfly predicate). Object-dtype chains never chunk.
+        qmax = max(primes)
+        self._chunk = max(1, (_INT64_MAX - (qmax - 1)) // ((qmax - 1) ** 2))
+        self._mixed_radix: Optional["MixedRadix"] = None
 
     def __repr__(self) -> str:
         return (
@@ -137,6 +143,96 @@ class RnsContext:
         half = self.modulus // 2
         return [c - self.modulus if c > half else c for c in self.from_rns(mat)]
 
+    # -- batched conversions (ciphertext-tensor kernels) --------------------------
+
+    def to_rns_batch(self, arr: np.ndarray) -> np.ndarray:
+        """``(..., N)`` integer coefficients (any magnitude/sign) -> ``(..., L, N)``."""
+        arr = np.asarray(arr)
+        if arr.ndim < 1 or arr.shape[-1] != self.n:
+            raise ParameterError(f"expected trailing dimension {self.n}, got {arr.shape}")
+        out = np.empty(arr.shape[:-1] + (len(self.primes), self.n), dtype=self.dtype)
+        for i, q in enumerate(self.primes):
+            out[..., i, :] = arr % q
+        return out
+
+    def from_rns_batch(self, mat: np.ndarray) -> np.ndarray:
+        """``(..., L, N)`` residues -> ``(..., N)`` object array of ints in [0, q)."""
+        small = (np.asarray(mat, dtype=self.dtype) * self._crt_inv) % self._q_col
+        acc = np.zeros(small.shape[:-2] + (self.n,), dtype=object)
+        for i, big in enumerate(self._crt_big):
+            acc += small[..., i, :].astype(object) * big
+        return acc % self.modulus
+
+    def from_rns_centered_batch(self, mat: np.ndarray) -> np.ndarray:
+        """``(..., L, N)`` residues -> centered ``(..., N)`` object array."""
+        vals = self.from_rns_batch(mat)
+        return np.where(vals > self.modulus // 2, vals - self.modulus, vals)
+
+    # -- chunked modular contractions ---------------------------------------------
+
+    def matmul_mod(self, matrix: np.ndarray, state: np.ndarray) -> np.ndarray:
+        """Fused modular matrix action: ``(J, K, L, N) x (K, P, L, N) -> (J, P, L, N)``.
+
+        One einsum per overflow-safe chunk of the contracted axis replaces
+        the J*K per-element pointwise products and modular adds of the
+        object-per-op path; modular addition is associative, so the chunked
+        sums are bit-identical to any sequential accumulation order.
+        """
+        matrix = np.asarray(matrix, dtype=self.dtype)
+        state = np.asarray(state, dtype=self.dtype)
+        if matrix.ndim != 4 or state.ndim != 4 or matrix.shape[1] != state.shape[0]:
+            raise ParameterError(
+                f"matmul_mod expects (J, K, L, N) x (K, P, L, N), "
+                f"got {matrix.shape} x {state.shape}"
+            )
+        k_total = matrix.shape[1]
+        if self.dtype is object:
+            out = np.zeros((matrix.shape[0],) + state.shape[1:], dtype=object)
+            for k in range(k_total):
+                out = out + matrix[:, k][:, None] * state[k][None]
+            return out % self._q_col
+        out = np.zeros((matrix.shape[0],) + state.shape[1:], dtype=np.int64)
+        for start in range(0, k_total, self._chunk):
+            stop = start + self._chunk
+            part = np.einsum("jkln,kpln->jpln", matrix[:, start:stop], state[start:stop])
+            out = (out + part) % self._q_col
+        return out
+
+    def weighted_sum_mod(self, digits: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """``(..., D, L, N)`` digit stacks x ``(D, L, N)`` weights -> ``(..., L, N)``.
+
+        The batched relinearization accumulator: sum_d digits[d] * weights[d]
+        mod q per prime, chunked along D like :meth:`matmul_mod`.
+        """
+        digits = np.asarray(digits, dtype=self.dtype)
+        weights = np.asarray(weights, dtype=self.dtype)
+        if digits.shape[-3] != weights.shape[0]:
+            raise ParameterError(
+                f"digit count {digits.shape[-3]} != weight count {weights.shape[0]}"
+            )
+        d_total = weights.shape[0]
+        if self.dtype is object:
+            out = np.zeros(digits.shape[:-3] + digits.shape[-2:], dtype=object)
+            for d in range(d_total):
+                out = out + digits[..., d, :, :] * weights[d]
+            return out % self._q_col
+        out = np.zeros(digits.shape[:-3] + digits.shape[-2:], dtype=np.int64)
+        for start in range(0, d_total, self._chunk):
+            stop = start + self._chunk
+            part = np.einsum(
+                "...dln,dln->...ln", digits[..., start:stop, :, :], weights[start:stop]
+            )
+            out = (out + part) % self._q_col
+        return out
+
+    def mixed_radix(self) -> "MixedRadix":
+        """The cached Garner transport for this basis (int64 chains only)."""
+        if self.dtype is object:
+            raise ParameterError("mixed-radix transport requires an int64 residue chain")
+        if self._mixed_radix is None:
+            self._mixed_radix = MixedRadix(self)
+        return self._mixed_radix
+
     # -- transforms / arithmetic on raw matrices ---------------------------------
 
     def forward(self, mat: np.ndarray) -> np.ndarray:
@@ -166,6 +262,223 @@ class RnsContext:
 def get_rns_context(n: int, primes: Tuple[int, ...]) -> RnsContext:
     """Shared RNS context per (n, prime chain) — mirrors :func:`get_ntt`."""
     return RnsContext(n, primes)
+
+
+# -- exact machine-word base transport (the fused tensor-kernel CRT path) --------
+#
+# The object-per-op engine crosses every CRT boundary through Python big
+# ints: reconstruct, center, re-reduce. The classes below keep the same
+# *exact* semantics entirely in vectorized int64 by working in Garner's
+# mixed-radix form: x = v_0 + v_1 q_0 + v_2 q_0 q_1 + ... with 0 <= v_j <
+# q_j. Each digit is machine-word sized, comparisons against q/2 are
+# lexicographic on the digit stack, and residues of x modulo a *different*
+# prime basis are chunked digit-weight dot products. This is the shape of
+# the base-conversion units in RNS FHE hardware (BASALISC/Medha): no
+# multi-precision value is ever materialized on the hot path.
+
+
+class MixedRadix:
+    """Garner decomposition of a residue basis into mixed-radix digits.
+
+    Valid only for int64 chains (every pairwise product of reduced residues
+    fits the butterfly headroom predicate, which ``RnsContext`` already
+    guarantees for its int64 dtype).
+    """
+
+    def __init__(self, ctx: RnsContext):
+        if ctx.dtype is object:
+            raise ParameterError("mixed-radix transport requires an int64 residue chain")
+        self.ctx = ctx
+        primes = ctx.primes
+        # _inv[j][i] = q_i^{-1} mod q_j for i < j (Garner's pair inverses).
+        self._inv = [
+            [pow(primes[i], -1, primes[j]) for i in range(j)] for j in range(len(primes))
+        ]
+        self._half_digits = self._int_digits(ctx.modulus // 2)
+
+    def _int_digits(self, value: int) -> Tuple[int, ...]:
+        """Mixed-radix digits of a plain int in [0, q)."""
+        digits = []
+        for q in self.ctx.primes:
+            digits.append(value % q)
+            value //= q
+        return tuple(digits)
+
+    def digits(self, mat: np.ndarray) -> np.ndarray:
+        """``(..., L, N)`` residues -> mixed-radix digits of the same shape.
+
+        Pure int64: every intermediate is bounded by ``(q_j - 1)^2``.
+        """
+        a = np.asarray(mat, dtype=np.int64)
+        primes = self.ctx.primes
+        v = np.empty_like(a)
+        v[..., 0, :] = a[..., 0, :]
+        for j in range(1, len(primes)):
+            q = primes[j]
+            u = a[..., j, :]
+            for i in range(j):
+                u = ((u - v[..., i, :]) * self._inv[j][i]) % q
+            v[..., j, :] = u
+        return v
+
+    def exceeds_half(self, digits: np.ndarray) -> np.ndarray:
+        """Boolean ``(..., N)``: does the encoded value exceed ``q // 2``?
+
+        Mixed-radix digit stacks compare lexicographically from the most
+        significant digit — the vectorized analogue of the scalar
+        ``c > q // 2`` centering test.
+        """
+        gt = np.zeros(digits.shape[:-2] + digits.shape[-1:], dtype=bool)
+        eq = np.ones_like(gt)
+        for j in reversed(range(len(self.ctx.primes))):
+            d = digits[..., j, :]
+            h = self._half_digits[j]
+            gt |= eq & (d > h)
+            eq &= d == h
+        return gt
+
+
+def _pair_chunk(src_max: int, dst_max: int) -> int:
+    """Largest cross-basis product chunk with reduced-addend headroom."""
+    return max(1, (_INT64_MAX - (dst_max - 1)) // ((src_max - 1) * (dst_max - 1)))
+
+
+class ExactBaseLift:
+    """Centered lift from a source basis into a destination prime set.
+
+    Computes ``(x mods q) mod p_e`` for every destination prime — exactly
+    what ``from_rns_centered`` + ``to_rns`` produce — as chunked int64
+    digit-weight contractions over the source's mixed-radix digits.
+    """
+
+    def __init__(self, src: RnsContext, dst_primes: Sequence[int]):
+        self.src = src
+        self.radix = src.mixed_radix()
+        self.dst_primes = tuple(int(p) for p in dst_primes)
+        if any(not butterfly_fits_int64(p) for p in self.dst_primes):
+            raise ParameterError("destination primes exceed the int64 residue width")
+        prefix = 1
+        weights = []  # weights[j][e] = (prod_{i<j} q_i) mod p_e
+        for q in src.primes:
+            weights.append([prefix % p for p in self.dst_primes])
+            prefix *= q
+        self._weights = np.array(weights, dtype=np.int64)  # (L_src, E)
+        self._mod_src = np.array(
+            [src.modulus % p for p in self.dst_primes], dtype=np.int64
+        ).reshape(-1, 1)
+        self._p_col = np.array(self.dst_primes, dtype=np.int64).reshape(-1, 1)
+        self._chunk = _pair_chunk(max(src.primes), max(self.dst_primes))
+
+    def lift_centered(self, mat: np.ndarray) -> np.ndarray:
+        """``(..., L_src, N)`` residues -> ``(..., E, N)`` centered dst residues."""
+        digits = self.radix.digits(mat)
+        gt = self.radix.exceeds_half(digits)
+        acc = np.zeros(digits.shape[:-2] + (len(self.dst_primes), digits.shape[-1]), np.int64)
+        for start in range(0, len(self.src.primes), self._chunk):
+            stop = start + self._chunk
+            part = np.einsum("...ln,le->...en", digits[..., start:stop, :], self._weights[start:stop])
+            acc = (acc + part) % self._p_col
+        # Centering: subtract q (mod p_e) wherever the value exceeded q/2.
+        return (acc - gt[..., None, :] * self._mod_src) % self._p_col
+
+
+class ExactRescaler:
+    """``round(num * x / q) mod q_l`` from extended-basis mixed-radix digits.
+
+    The BFV p/q rescale. Writing the centered value as
+    ``x = sum_j v_j Q_j - gt * M`` (Q_j the mixed-radix weights, M the
+    extended modulus) and splitting each ``num * Q_j = a_j q + b_j``::
+
+        round_div(num * x, q) = sum_j v_j a_j - gt * A + floor(S/q + 1/2),
+        S = sum_j v_j b_j - gt * B  (a_j, b_j, A, B precomputed)
+
+    The first part is a chunked int64 contraction mod each q_l. The
+    correction term ``E = floor(S/q + 1/2)`` is a *small* integer
+    (|E| <= sum_j v_j + 1), estimated in float64 from precomputed b_j/q
+    weights. The estimate's worst-case error is provably below ``_EPS``
+    (digits < 2^31 are exact in float64; each of the <= L_e products and
+    partial sums rounds once), so any coefficient whose fractional part
+    falls inside the guard band around 0/1 is recomputed with exact big
+    ints — the fast path is bit-exact, not approximately so.
+    """
+
+    #: Guard band for the float64 quotient estimate. Worst-case float error
+    #: is L_e * 2^-21 (term rounding) + L_e^2 * 2^-22 (sum rounding); the
+    #: constructor rejects digit counts that could approach the band.
+    _EPS = 1.0 / 64.0
+
+    def __init__(self, ext: RnsContext, numerator: int, dst: RnsContext):
+        self.ext = ext
+        self.dst = dst
+        self.radix = ext.mixed_radix()
+        if dst.dtype is object:
+            raise ParameterError("rescale target must be an int64 residue chain")
+        n_digits = len(ext.primes)
+        bound = n_digits * 2.0**-21 + n_digits**2 * 2.0**-22
+        if bound * 4 > self._EPS:
+            raise ParameterError(f"extended basis too wide ({n_digits} digits) for the float guard")
+        q = dst.modulus
+        self.q = q
+        prefix = 1
+        a_rows, b_list, w_list = [], [], []
+        for qe in ext.primes:
+            num = numerator * prefix
+            a_rows.append([(num // q) % p for p in dst.primes])
+            b_list.append(num % q)
+            w_list.append((num % q) / q)
+            prefix *= qe
+        self._a = np.array(a_rows, dtype=np.int64)  # (L_ext, L_dst)
+        self._b = b_list
+        self._w = np.array(w_list, dtype=np.float64)
+        num_m = numerator * ext.modulus
+        self._a_m = np.array([(num_m // q) % p for p in dst.primes], dtype=np.int64).reshape(-1, 1)
+        self._b_m = num_m % q
+        self._w_m = self._b_m / q
+        self._q_col = np.array(dst.primes, dtype=np.int64).reshape(-1, 1)
+        self._chunk = _pair_chunk(max(ext.primes), max(dst.primes))
+
+    def rescale(self, mat: np.ndarray) -> np.ndarray:
+        """``(..., L_ext, N)`` residues of num*x*... -> ``(..., L_dst, N)`` scaled residues.
+
+        Input is the extended-basis residue matrix of the exact product;
+        output is ``round_div(numerator * centered(x), q) mod q_l`` —
+        bit-identical to the scalar reconstruct/center/round/reduce chain.
+        """
+        digits = self.radix.digits(mat)
+        gt = self.radix.exceeds_half(digits)
+        # E = floor(S/q + 1/2) via the float estimate + exact guard band.
+        shifted = np.einsum("...ln,l->...n", digits.astype(np.float64), self._w)
+        shifted = shifted - gt * self._w_m + 0.5
+        floor = np.floor(shifted)
+        frac = shifted - floor
+        correction = floor.astype(np.int64)
+        suspicious = (frac < self._EPS) | (frac > 1.0 - self._EPS)
+        if suspicious.any():
+            self._exact_corrections(digits, gt, correction, suspicious)
+        acc = np.zeros(digits.shape[:-2] + (len(self.dst.primes), digits.shape[-1]), np.int64)
+        for start in range(0, len(self.ext.primes), self._chunk):
+            stop = start + self._chunk
+            part = np.einsum("...ln,le->...en", digits[..., start:stop, :], self._a[start:stop])
+            acc = (acc + part) % self._q_col
+        return (acc - gt[..., None, :] * self._a_m + correction[..., None, :]) % self._q_col
+
+    def _exact_corrections(
+        self, digits: np.ndarray, gt: np.ndarray, correction: np.ndarray, suspicious: np.ndarray
+    ) -> None:
+        """Recompute E with exact integers where the float estimate is ambiguous."""
+        n_ext = len(self.ext.primes)
+        n = digits.shape[-1]
+        flat_d = digits.reshape(-1, n_ext, n)
+        flat_gt = gt.reshape(-1, n)
+        flat_c = correction.reshape(-1, n)
+        rows, cols = np.nonzero(suspicious.reshape(-1, n))
+        q = self.q
+        for r, c in zip(rows.tolist(), cols.tolist()):
+            s = sum(int(flat_d[r, j, c]) * self._b[j] for j in range(n_ext))
+            if flat_gt[r, c]:
+                s -= self._b_m
+            flat_c[r, c] = (2 * s + q) // (2 * q)
+        correction[...] = flat_c.reshape(correction.shape)
 
 
 class RnsPoly:

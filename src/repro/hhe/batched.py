@@ -12,6 +12,20 @@ multiplications of encoded constant vectors.
 Cost intuition (reported by the ``hhe_cost`` experiment): the homomorphic
 operation count per evaluation is unchanged, so the per-block cost drops
 by ~B at the price of polynomially heavier plain multiplications.
+
+Two evaluation engines share that circuit:
+
+* ``engine="scalar"`` — one :class:`~repro.fhe.bfv.Ciphertext` object per
+  state element, one scheme call per homomorphic op (the original path,
+  retained bit-exact).
+* ``engine="tensor"`` — the t state ciphertexts live in one
+  :class:`~repro.fhe.engine.CiphertextTensor` ``(t, 2, L, N)`` NTT-domain
+  residue ndarray; each affine layer side is a single prepared-matrix
+  einsum per residue prime plus a broadcast round-constant add, and the
+  S-boxes run batched square/multiply kernels. Requires the RNS engine;
+  ``engine="auto"`` (the default) picks it whenever available. Both
+  engines produce bit-identical ciphertext residues and identical op
+  counts.
 """
 
 from __future__ import annotations
@@ -20,9 +34,12 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import ParameterError
 from repro.fhe.batching import BatchEncoder
 from repro.fhe.bfv import Bfv, Ciphertext, PublicKey, RelinKey
+from repro.fhe.engine import CiphertextTensor
 from repro.hhe.backend import BfvOpCounts
 from repro.pasta.batch import get_engine
 from repro.pasta.params import PastaParams
@@ -57,6 +74,7 @@ class BatchedHheServer:
         rlk: RelinKey,
         encoder: BatchEncoder,
         encrypted_key: Sequence[Ciphertext],
+        engine: str = "auto",
     ):
         if scheme.params.p != params.p:
             raise ParameterError("BFV plaintext modulus must equal the PASTA prime")
@@ -67,6 +85,20 @@ class BatchedHheServer:
         self.rlk = rlk
         self.encoder = encoder
         self.encrypted_key = list(encrypted_key)
+        scheme_engine = getattr(scheme.engine, "name", "bigint")
+        if engine == "auto":
+            engine = "tensor" if scheme_engine == "rns" else "scalar"
+        if engine not in ("scalar", "tensor"):
+            raise ParameterError(f"unknown evaluation engine {engine!r}")
+        if engine == "tensor" and scheme_engine != "rns":
+            raise ParameterError(
+                f"engine='tensor' requires the RNS evaluation engine, "
+                f"scheme uses {scheme_engine!r}"
+            )
+        #: Which circuit evaluator ``transcipher_blocks`` dispatches to
+        #: ("scalar" | "tensor"). Named ``eval_engine`` because ``engine``
+        #: is the keystream engine below.
+        self.eval_engine = engine
         #: Shared batched keystream engine: materials and matrices for the
         #: public (nonce, counter) schedule come from its LRU, so serving
         #: the same stream twice never re-derives them.
@@ -95,6 +127,38 @@ class BatchedHheServer:
         self._prepared_matrix = _prepared_matrix
         self._prepared_rc = _prepared_rc
 
+        # Tensor-path prepared plaintexts: one (t, t, L, N) NTT-domain
+        # residue tensor per (nonce, counters, layer, side) — the whole
+        # affine matrix encodes with ONE batched slot-NTT (t^2 rows) and
+        # forward-transforms with one batched residue NTT, vs t^2 scalar
+        # handles. Entries are ~t^2 larger than scalar handles, so the LRU
+        # is correspondingly shallower.
+        @lru_cache(maxsize=64)
+        def _prepared_matrix_tensor(
+            nonce: int, counters: Tuple[int, ...], layer: int, side: str
+        ):
+            t = self.params.t
+            mats = np.stack(
+                [np.asarray(self.engine.matrix(nonce, c, layer, side)) for c in counters],
+                axis=-1,
+            )  # (t, t, B): slot b carries block b's matrix entry
+            encoded = self.encoder.encode_rows(mats.reshape(t * t, len(counters)))
+            return self.scheme.prepare_matrix(encoded.reshape(t, t, self.encoder.n))
+
+        @lru_cache(maxsize=256)
+        def _prepared_rc_tensor(
+            nonce: int, counters: Tuple[int, ...], layer: int, side: str
+        ):
+            materials = self.engine.materials(nonce, list(counters))
+            rows = np.stack(
+                [np.asarray(getattr(m.layers[layer], f"rc_{side}")) for m in materials],
+                axis=-1,
+            )  # (t, B)
+            return self.scheme.prepare_add_rows(self.encoder.encode_rows(rows))
+
+        self._prepared_matrix_tensor = _prepared_matrix_tensor
+        self._prepared_rc_tensor = _prepared_rc_tensor
+
     # -- slot-wise circuit pieces -------------------------------------------------
 
     def _mul_const_vector(self, ct: Ciphertext, constants: Sequence[int]) -> Ciphertext:
@@ -119,21 +183,42 @@ class BatchedHheServer:
         self._ops.relins += 1
         return self.scheme.multiply(a, b, self.rlk)
 
+    def _affine_span(self, engine: str, layer: int, side: str, n_blocks: int):
+        """Span for one affine layer side, nested under ``hhe.transcipher``.
+
+        Carries the MatMul stage's modeled cycles (``6 + t + log2 t`` per
+        block): :func:`repro.obs.cycles.attribute` then reports the kernel's
+        measured share of the evaluation against the stage's modeled share
+        of the block budget.
+        """
+        from repro.obs import get_tracer
+        from repro.obs.cycles import modeled_matmul_attributes
+
+        return get_tracer().span(
+            "hhe.affine",
+            metric="hhe.affine.seconds",
+            engine=engine,
+            layer=layer,
+            side=side,
+            **modeled_matmul_attributes(self.params, n_blocks),
+        )
+
     def _affine(self, state, nonce: int, counters: Tuple[int, ...], layer: int, side: str):
         """Slot-wise affine over the public schedule, via prepared handles."""
         t = len(state)
-        out = []
-        for j in range(t):
-            acc = None
-            for k in range(t):
-                handle = self._prepared_matrix(nonce, counters, layer, side, j, k)
-                self._ops.plain_muls += 1
-                term = self.scheme.mul_plain_poly(state[k], handle)
-                acc = term if acc is None else self._add(acc, term)
-            self._ops.plain_adds += 1
-            rc = self._prepared_rc(nonce, counters, layer, side, j)
-            out.append(self.scheme.add_plain_poly(acc, rc))
-        return out
+        with self._affine_span("scalar", layer, side, len(counters)):
+            out = []
+            for j in range(t):
+                acc = None
+                for k in range(t):
+                    handle = self._prepared_matrix(nonce, counters, layer, side, j, k)
+                    self._ops.plain_muls += 1
+                    term = self.scheme.mul_plain_poly(state[k], handle)
+                    acc = term if acc is None else self._add(acc, term)
+                self._ops.plain_adds += 1
+                rc = self._prepared_rc(nonce, counters, layer, side, j)
+                out.append(self.scheme.add_plain_poly(acc, rc))
+            return out
 
     def _mix(self, xl, xr):
         s = [self._add(a, b) for a, b in zip(xl, xr)]
@@ -147,6 +232,43 @@ class BatchedHheServer:
 
     def _cube(self, state):
         return [self._mul(self._square(x), x) for x in state]
+
+    # -- tensor-path circuit pieces (same circuit, fused kernels) ------------------
+
+    def _tensor_affine(
+        self, state: CiphertextTensor, nonce: int, counters: Tuple[int, ...], layer: int, side: str
+    ) -> CiphertextTensor:
+        """Fused affine layer side: one einsum per residue prime + rc add."""
+        t = self.params.t
+        matrix = self._prepared_matrix_tensor(nonce, counters, layer, side)
+        rc = self._prepared_rc_tensor(nonce, counters, layer, side)
+        self._ops.plain_muls += t * t
+        self._ops.adds += t * (t - 1)
+        self._ops.plain_adds += t
+        with self._affine_span("tensor", layer, side, len(counters)):
+            return self.scheme.tensor_affine(state, matrix, rc)
+
+    def _tensor_mix(self, xl: CiphertextTensor, xr: CiphertextTensor):
+        self._ops.adds += 3 * self.params.t
+        s = self.scheme.tensor_add(xl, xr)
+        return self.scheme.tensor_add(xl, s), self.scheme.tensor_add(xr, s)
+
+    def _tensor_feistel(self, full: CiphertextTensor) -> CiphertextTensor:
+        n = full.slots
+        self._ops.squares += n - 1
+        self._ops.relins += n - 1
+        self._ops.adds += n - 1
+        squared = self.scheme.tensor_square(full[:-1], self.rlk)
+        return CiphertextTensor.concat(
+            [full[:1], self.scheme.tensor_add(full[1:], squared)]
+        )
+
+    def _tensor_cube(self, full: CiphertextTensor) -> CiphertextTensor:
+        n = full.slots
+        self._ops.squares += n
+        self._ops.muls += n
+        self._ops.relins += 2 * n
+        return self.scheme.tensor_mul(self.scheme.tensor_square(full, self.rlk), full, self.rlk)
 
     # -- public API -----------------------------------------------------------------
 
@@ -178,6 +300,7 @@ class BatchedHheServer:
             metric="hhe.transcipher.seconds",
             variant=params.name,
             omega=params.modulus_bits,
+            engine=self.eval_engine,
             blocks=len(counters),
             **modeled_cycle_attributes(params, len(counters)),
         ):
@@ -207,6 +330,22 @@ class BatchedHheServer:
 
         self._ops = BfvOpCounts()
 
+        if self.eval_engine == "tensor":
+            out = self._evaluate_tensor(ciphertext_blocks, nonce, block_counters)
+        else:
+            out = self._evaluate_scalar(ciphertext_blocks, nonce, block_counters)
+        return BatchedTranscipherResult(
+            ciphertexts=out, counters=[int(c) for c in counters], ops=self._ops
+        )
+
+    def _evaluate_scalar(
+        self,
+        ciphertext_blocks: Sequence[Sequence[int]],
+        nonce: int,
+        block_counters: Tuple[int, ...],
+    ) -> List[Ciphertext]:
+        params = self.params
+        t = params.t
         xl = list(self.encrypted_key[:t])
         xr = list(self.encrypted_key[t:])
         for i in range(params.rounds):
@@ -227,8 +366,45 @@ class BatchedHheServer:
             negated = self.scheme.neg(xl[j])
             per_slot_c = [int(block[j]) for block in ciphertext_blocks]
             out.append(self._add_const_vector(negated, per_slot_c))
-        return BatchedTranscipherResult(
-            ciphertexts=out, counters=[int(c) for c in counters], ops=self._ops
+        return out
+
+    def _evaluate_tensor(
+        self,
+        ciphertext_blocks: Sequence[Sequence[int]],
+        nonce: int,
+        block_counters: Tuple[int, ...],
+    ) -> List[Ciphertext]:
+        """Same circuit on one (2t, 2, L, N) eval-domain residue tensor.
+
+        Op counters are incremented with the per-slot totals of each fused
+        kernel, so ``ops`` is identical to the scalar path's — the kernels
+        are the amortization, not an op-count change.
+        """
+        params = self.params
+        t = params.t
+        state = self.scheme.stack_ciphertexts(self.encrypted_key)
+        xl, xr = state[:t], state[t:]
+        for i in range(params.rounds):
+            xl = self._tensor_affine(xl, nonce, block_counters, i, "l")
+            xr = self._tensor_affine(xr, nonce, block_counters, i, "r")
+            xl, xr = self._tensor_mix(xl, xr)
+            full = CiphertextTensor.concat([xl, xr])
+            full = self._tensor_feistel(full) if i < params.rounds - 1 else self._tensor_cube(full)
+            xl, xr = full[:t], full[t:]
+        last = params.rounds
+        xl = self._tensor_affine(xl, nonce, block_counters, last, "l")
+        xr = self._tensor_affine(xr, nonce, block_counters, last, "r")
+        xl, _ = self._tensor_mix(xl, xr)
+
+        # m = c - KS: one batched negate + one prepared broadcast row add.
+        negated = self.scheme.tensor_neg(xl)
+        rows = np.asarray(
+            [[int(c) for c in block] for block in ciphertext_blocks]
+        ).T  # (t, B)
+        self._ops.plain_adds += t
+        prepared = self.scheme.prepare_add_rows(self.encoder.encode_rows(rows))
+        return self.scheme.unstack_ciphertexts(
+            self.scheme.tensor_add_plain_rows(negated, prepared)
         )
 
 

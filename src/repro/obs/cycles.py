@@ -36,6 +36,8 @@ from repro.obs.trace import Span
 __all__ = [
     "modeled_block_cycles",
     "modeled_cycle_attributes",
+    "modeled_matmul_cycles",
+    "modeled_matmul_attributes",
     "StageAttribution",
     "AttributionReport",
     "attribute",
@@ -84,6 +86,35 @@ def modeled_cycle_attributes(params, n_blocks: int) -> Dict[str, object]:
     }
 
 
+def modeled_matmul_cycles(params) -> int:
+    """Accelerator cycles for one MatGen+MatMul macro stage: ``6 + t + log2 t``.
+
+    The paper's Sec. III-C latency of the shared t-multiplier MatMul array
+    — the hardware stage the server's fused affine kernel corresponds to.
+    """
+    from repro.hw.arith_units import mat_stage_cycles
+
+    return mat_stage_cycles(params.t)
+
+
+def modeled_matmul_attributes(params, n_blocks: int) -> Dict[str, object]:
+    """Span attributes for one fused affine layer side over ``n_blocks`` blocks.
+
+    Attach these to a per-layer-side ``hhe.affine`` span *nested inside* the
+    modeled ``hhe.transcipher`` span: :func:`attribute` reports nested
+    modeled stages against their parent's totals, so the affine kernel's
+    measured share of the evaluation is compared with the MatMul stage's
+    modeled share of the block budget.
+    """
+    per_block = modeled_matmul_cycles(params)
+    return {
+        CYCLES_ATTR: per_block * n_blocks,
+        "modeled_cycles_per_block": per_block,
+        "modeled_blocks": n_blocks,
+        "modeled_stage": "MatGen+MatMul",
+    }
+
+
 @dataclass(frozen=True)
 class StageAttribution:
     """One stage (span name) of the measured-vs-modeled comparison."""
@@ -95,6 +126,7 @@ class StageAttribution:
     measured_share: Optional[float]  #: share among modeled stages
     modeled_share: Optional[float]
     implied_mhz: Optional[float]  #: modeled cycles / measured microsecond
+    within: Optional[str] = None  #: parent stage for nested modeled spans
 
     @property
     def divergence(self) -> Optional[float]:
@@ -130,6 +162,7 @@ class AttributionReport:
                     "measured_share": r.measured_share,
                     "modeled_share": r.modeled_share,
                     "implied_mhz": r.implied_mhz,
+                    "within": r.within,
                     "divergence": r.divergence,
                     "flagged": r.divergence is not None
                     and abs(r.divergence) > self.tolerance,
@@ -146,6 +179,7 @@ class AttributionReport:
         )
         lines = [header, "-" * len(header)]
         for r in self.rows:
+            label = r.stage if r.within is None else f"  └ {r.stage}"
             measured = f"{r.measured_seconds * 1e3:.2f} ms"
             m_share = f"{r.measured_share:6.1%}" if r.measured_share is not None else "      -"
             cycles = f"{r.modeled_cycles:,}" if r.modeled_cycles is not None else "-"
@@ -156,51 +190,104 @@ class AttributionReport:
             if div is not None and abs(div) > self.tolerance:
                 flag = f"DIVERGES ({div:+.1%})"
             lines.append(
-                f"{r.stage:<28} {r.spans:>6} {measured:>12} {m_share:>7} "
+                f"{label:<28} {r.spans:>6} {measured:>12} {m_share:>7} "
                 f"{cycles:>12} {c_share:>7} {mhz:>8}  {flag}"
             )
         return "\n".join(lines)
 
 
 def attribute(spans: Iterable[Span], tolerance: float = DEFAULT_TOLERANCE) -> AttributionReport:
-    """Fold finished spans into a per-stage measured-vs-modeled report."""
-    seconds: Dict[str, float] = {}
-    counts: Dict[str, int] = {}
-    cycles: Dict[str, int] = {}
-    for span in spans:
-        seconds[span.name] = seconds.get(span.name, 0.0) + span.duration
-        counts[span.name] = counts.get(span.name, 0) + 1
-        modeled = span.attributes.get(CYCLES_ATTR)
-        if isinstance(modeled, (int, float)):
-            cycles[span.name] = cycles.get(span.name, 0) + int(modeled)
+    """Fold finished spans into a per-stage measured-vs-modeled report.
 
-    modeled_seconds_total = sum(seconds[n] for n in cycles)
-    modeled_cycles_total = sum(cycles.values())
+    Modeled spans *nested* inside another modeled span (per-layer
+    ``hhe.affine`` kernels under ``hhe.transcipher``) are excluded from the
+    top-level share pool — the parent already accounts for their time — and
+    get a nested row instead, with shares computed against the enclosing
+    stage's own measured seconds / modeled cycles. That is the measured vs
+    modeled *within-block* comparison: the fused affine kernel's wall-time
+    share of the evaluation against the MatMul stage's share of the block's
+    cycle budget.
+    """
+    spans = list(spans)
+    by_id = {s.span_id: s for s in spans}
+
+    def _modeled(s: Span) -> bool:
+        return isinstance(s.attributes.get(CYCLES_ATTR), (int, float))
+
+    def _modeled_ancestor(s: Span) -> Optional[Span]:
+        pid = s.parent_id
+        seen = set()
+        while pid is not None and pid in by_id and pid not in seen:
+            seen.add(pid)
+            parent = by_id[pid]
+            if _modeled(parent):
+                return parent
+            pid = parent.parent_id
+        return None
+
+    # Aggregate by (name, enclosing modeled stage or None). Unmodeled spans
+    # always aggregate flat — they carry no shares either way.
+    Key = Tuple[str, Optional[str]]
+    seconds: Dict[Key, float] = {}
+    counts: Dict[Key, int] = {}
+    cycles: Dict[Key, int] = {}
+    parents: Dict[Key, Dict[str, Span]] = {}
+    for span in spans:
+        anc = _modeled_ancestor(span) if _modeled(span) else None
+        key = (span.name, anc.name if anc is not None else None)
+        seconds[key] = seconds.get(key, 0.0) + span.duration
+        counts[key] = counts.get(key, 0) + 1
+        if _modeled(span):
+            cycles[key] = cycles.get(key, 0) + int(span.attributes[CYCLES_ATTR])
+        if anc is not None:
+            parents.setdefault(key, {})[anc.span_id] = anc
+
+    top_seconds_total = sum(seconds[k] for k in cycles if k[1] is None)
+    top_cycles_total = sum(c for k, c in cycles.items() if k[1] is None)
+
+    top_keys = sorted((k for k in seconds if k[1] is None), key=lambda k: -seconds[k])
+    ordered: List[Key] = []
+    for top in top_keys:
+        ordered.append(top)
+        ordered.extend(
+            sorted(
+                (k for k in seconds if k[1] == top[0]),
+                key=lambda k: -seconds[k],
+            )
+        )
+
+    for key in sorted(seconds, key=lambda k: -seconds[k]):
+        if key not in ordered:  # nested under a stage that is itself nested
+            ordered.append(key)
 
     rows: List[StageAttribution] = []
-    for name in sorted(seconds, key=lambda n: -seconds[n]):
-        stage_cycles = cycles.get(name)
+    for key in ordered:
+        name, within = key
+        stage_cycles = cycles.get(key)
         if stage_cycles is not None:
-            measured_share = (
-                seconds[name] / modeled_seconds_total if modeled_seconds_total > 0 else None
-            )
-            modeled_share = (
-                stage_cycles / modeled_cycles_total if modeled_cycles_total > 0 else None
-            )
+            if within is None:
+                sec_total, cyc_total = top_seconds_total, top_cycles_total
+            else:
+                enclosing = parents[key].values()
+                sec_total = sum(s.duration for s in enclosing)
+                cyc_total = sum(int(s.attributes[CYCLES_ATTR]) for s in enclosing)
+            measured_share = seconds[key] / sec_total if sec_total > 0 else None
+            modeled_share = stage_cycles / cyc_total if cyc_total > 0 else None
             implied_mhz = (
-                stage_cycles / (seconds[name] * 1e6) if seconds[name] > 0 else None
+                stage_cycles / (seconds[key] * 1e6) if seconds[key] > 0 else None
             )
         else:
             measured_share = modeled_share = implied_mhz = None
         rows.append(
             StageAttribution(
                 stage=name,
-                spans=counts[name],
-                measured_seconds=seconds[name],
+                spans=counts[key],
+                measured_seconds=seconds[key],
                 modeled_cycles=stage_cycles,
                 measured_share=measured_share,
                 modeled_share=modeled_share,
                 implied_mhz=implied_mhz,
+                within=within,
             )
         )
     return AttributionReport(rows=rows, tolerance=tolerance)

@@ -89,11 +89,44 @@ class CircuitCost:
     ct_muls: int = 0
 
 
+def homomorphic_op_counts(params: PastaParams) -> dict:
+    """Closed-form BFV op counts of one homomorphic PASTA evaluation.
+
+    One batched evaluation of ``m = c - Trunc(pi(K))`` over t-element
+    encrypted state (:class:`repro.hhe.batched.BatchedHheServer`), any batch
+    size. Derivation per component, with ``r = rounds`` and 2(r+1) affine
+    layer *sides* (l and r for rounds 0..r):
+
+    * affine side: t^2 plain muls, t(t-1) adds, t plain rc adds
+    * mix (r+1 of them): 3t adds
+    * Feistel (r-1 of them, over the 2t concatenated state): 2t-1 each of
+      squares/relins/adds
+    * cube (1, over 2t state): 2t squares, 2t muls, 2 relins per element
+    * final ``c - KS``: t plain adds
+
+    The benchmark and the parity tests assert real runs (both evaluation
+    engines) hit these exactly.
+    """
+    t, r = params.t, params.rounds
+    sides = 2 * (r + 1)
+    feistel = (r - 1) * (2 * t - 1)
+    return {
+        "plain_muls": sides * t * t,
+        "plain_adds": sides * t + t,
+        "adds": sides * t * (t - 1) + 3 * t * (r + 1) + feistel,
+        "squares": feistel + 2 * t,
+        "muls": 2 * t,
+        "relins": feistel + 2 * t + 2 * t,
+    }
+
+
 class KeystreamCircuit:
     """The keystream computation KS = Trunc(pi(K)) as a backend-generic circuit."""
 
     def __init__(self, params: PastaParams, materials: BlockMaterials):
-        if materials.params is not params:
+        # Structural equality, not identity: materials deserialized or built
+        # from an equal-but-distinct PastaParams instance are just as valid.
+        if materials.params != params:
             raise ParameterError("materials were generated for different parameters")
         self.params = params
         self.materials = materials

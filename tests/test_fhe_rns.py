@@ -17,6 +17,9 @@ from hypothesis import strategies as st
 from repro.errors import ParameterError
 from repro.fhe import (
     Bfv,
+    CiphertextTensor,
+    ExactBaseLift,
+    ExactRescaler,
     RnsPoly,
     butterfly_fits_int64,
     get_ntt,
@@ -286,3 +289,186 @@ class TestEngineParity:
             ref.engine.to_ints(p) for p in out_b.parts
         ]
         assert rns.decrypt_poly(sk_a, out_a) == ref.decrypt_poly(sk_b, out_b)
+
+
+# -- mixed-radix transport + tensor kernels ---------------------------------------
+
+
+def _random_residues(rnd, ctx, shape):
+    """Uniform residue tensor of ``shape + (L, n)``."""
+    out = np.empty(shape + (len(ctx.primes), ctx.n), dtype=np.int64)
+    flat = out.reshape(-1, len(ctx.primes), ctx.n)
+    for block in flat:
+        for row, q in zip(block, ctx.primes):
+            row[:] = [rnd.randrange(q) for _ in range(ctx.n)]
+    return out
+
+
+class TestMixedRadixTransport:
+    @given(
+        n=st.sampled_from([16, 64]),
+        min_bits=st.sampled_from([60, 120, 180]),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_digits_reconstruct_and_center(self, n, min_bits, seed):
+        ctx = get_rns_context(n, ntt_prime_chain(n, min_bits, 26))
+        rnd = random.Random(seed)
+        coeffs = _coeffs_near_primes(rnd, ctx.primes, n) + [
+            0,
+            ctx.modulus // 2,
+            ctx.modulus // 2 + 1,
+            ctx.modulus - 1,
+        ]
+        coeffs = [c % ctx.modulus for c in coeffs[: n]]
+        radix = ctx.mixed_radix()
+        digits = radix.digits(ctx.to_rns(coeffs))
+        # Garner digits reconstruct the value positionally.
+        recon = [0] * n
+        prefix = 1
+        for j, q in enumerate(ctx.primes):
+            for i in range(n):
+                recon[i] += int(digits[j, i]) * prefix
+            prefix *= q
+        assert recon == coeffs
+        # Lexicographic half-comparison == the scalar centering predicate.
+        gt = radix.exceeds_half(digits)
+        assert [bool(g) for g in gt] == [c > ctx.modulus // 2 for c in coeffs]
+
+    @given(
+        n=st.sampled_from([16, 64]),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_lift_centered_matches_scalar(self, n, seed):
+        src = get_rns_context(n, ntt_prime_chain(n, 100, 26))
+        dst_primes = ntt_prime_chain(n, 80, 30)
+        lift = ExactBaseLift(src, dst_primes)
+        rnd = random.Random(seed)
+        coeffs = [c % src.modulus for c in _coeffs_near_primes(rnd, src.primes, n)]
+        got = lift.lift_centered(src.to_rns(coeffs))
+        centered = [c - src.modulus if c > src.modulus // 2 else c for c in coeffs]
+        expected = [[c % p for c in centered] for p in dst_primes]
+        assert got.tolist() == expected
+
+    @given(
+        n=st.sampled_from([16, 64]),
+        ext_bits=st.sampled_from([120, 200, 300]),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_rescaler_matches_bigint_round_div(self, n, ext_bits, seed):
+        ext = get_rns_context(n, ntt_prime_chain(n, ext_bits, 26))
+        dst = get_rns_context(n, ntt_prime_chain(n, 60, 30))
+        numerator = P
+        rescaler = ExactRescaler(ext, numerator, dst)
+        rnd = random.Random(seed)
+        coeffs = [c % ext.modulus for c in _coeffs_near_primes(rnd, ext.primes, n)]
+        got = rescaler.rescale(ext.to_rns(coeffs))
+        q = dst.modulus
+        expected_rows = []
+        for ql in dst.primes:
+            row = []
+            for c in coeffs:
+                centered = c - ext.modulus if c > ext.modulus // 2 else c
+                num = numerator * centered
+                row.append(((2 * num + q) // (2 * q)) % ql)
+            expected_rows.append(row)
+        assert got.tolist() == expected_rows
+
+
+class TestBatchedContractions:
+    @given(
+        n=st.sampled_from([16, 64]),
+        prime_bits=st.sampled_from([26, 30]),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_matmul_mod_matches_object_einsum(self, n, prime_bits, seed):
+        ctx = get_rns_context(n, ntt_prime_chain(n, 110, prime_bits))
+        rnd = random.Random(seed)
+        q_col = np.array(ctx.primes, dtype=np.int64).reshape(-1, 1)
+        matrix = _random_residues(rnd, ctx, (3, 2))
+        state = _random_residues(rnd, ctx, (2, 2))
+        got = ctx.matmul_mod(matrix, state)
+        ref = np.einsum(
+            "jkln,kpln->jpln", matrix.astype(object), state.astype(object)
+        ) % q_col
+        assert (got == ref).all()
+
+    @given(
+        n=st.sampled_from([16, 64]),
+        prime_bits=st.sampled_from([26, 30]),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_weighted_sum_mod_matches_object_einsum(self, n, prime_bits, seed):
+        ctx = get_rns_context(n, ntt_prime_chain(n, 110, prime_bits))
+        rnd = random.Random(seed)
+        q_col = np.array(ctx.primes, dtype=np.int64).reshape(-1, 1)
+        digits = _random_residues(rnd, ctx, (2, 4))
+        weights = _random_residues(rnd, ctx, (4,))
+        got = ctx.weighted_sum_mod(digits, weights)
+        ref = np.einsum(
+            "bdln,dln->bln", digits.astype(object), weights.astype(object)
+        ) % q_col
+        assert (got == ref).all()
+
+
+class TestCiphertextTensor:
+    @pytest.fixture(scope="class")
+    def scheme(self):
+        return Bfv(toy_parameters(P, n=64, log2_q=120, prime_bits=26), seed=b"tensor")
+
+    def test_stack_unstack_roundtrip(self, scheme):
+        _, pk, _ = scheme.keygen()
+        rnd = random.Random(11)
+        cts = [
+            scheme.encrypt_poly(pk, [rnd.randrange(P) for _ in range(64)])
+            for _ in range(5)
+        ]
+        tensor = scheme.stack_ciphertexts(cts)
+        assert tensor.slots == 5 and tensor.parts == 2
+        back = scheme.unstack_ciphertexts(tensor)
+        for orig, out in zip(cts, back):
+            assert [scheme.engine.to_ints(p) for p in orig.parts] == [
+                scheme.engine.to_ints(p) for p in out.parts
+            ]
+
+    def test_domain_transitions_preserve_residues(self, scheme):
+        """Stack (eval domain) -> coefficient domain -> eval: bit-identical."""
+        _, pk, _ = scheme.keygen()
+        ct = scheme.encrypt_poly(pk, list(range(64)))
+        tensor = scheme.stack_ciphertexts([ct])
+        eng = scheme.engine
+        coeff = eng.ctx.inverse(tensor.data)
+        assert (eng.ctx.forward(coeff) == tensor.data).all()
+
+    def test_slicing_and_concat(self, scheme):
+        _, pk, _ = scheme.keygen()
+        cts = [scheme.encrypt_poly(pk, [i] * 64) for i in range(4)]
+        tensor = scheme.stack_ciphertexts(cts)
+        head, tail = tensor[:1], tensor[1:]
+        assert head.slots == 1 and tail.slots == 3
+        rejoined = CiphertextTensor.concat([head, tail])
+        assert (rejoined.data == tensor.data).all()
+        single = tensor[2]
+        assert single.slots == 1
+        assert (single.data == tensor.data[2:3]).all()
+
+    def test_shape_validation(self, scheme):
+        eng = scheme.engine
+        with pytest.raises(ParameterError):
+            CiphertextTensor(eng.ctx, np.zeros((2, 2, 1, 1), dtype=np.int64))
+
+    def test_tensor_add_matches_scalar_add(self, scheme):
+        _, pk, _ = scheme.keygen()
+        rnd = random.Random(13)
+        a = [scheme.encrypt_poly(pk, [rnd.randrange(P) for _ in range(64)]) for _ in range(3)]
+        b = [scheme.encrypt_poly(pk, [rnd.randrange(P) for _ in range(64)]) for _ in range(3)]
+        summed = scheme.tensor_add(scheme.stack_ciphertexts(a), scheme.stack_ciphertexts(b))
+        for ct_a, ct_b, out in zip(a, b, scheme.unstack_ciphertexts(summed)):
+            ref = scheme.add(ct_a, ct_b)
+            assert [scheme.engine.to_ints(p) for p in ref.parts] == [
+                scheme.engine.to_ints(p) for p in out.parts
+            ]

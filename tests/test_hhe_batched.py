@@ -1,14 +1,20 @@
 """Tests for BFV slot batching and batched (SIMD) transciphering."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ParameterError
+from repro.ff.params import P33
 from repro.fhe import Bfv, toy_parameters
 from repro.fhe.batching import BatchEncoder
 from repro.hhe import BatchedHheServer, decrypt_batched_result, encrypt_key_batched
-from repro.pasta import PASTA_MICRO, Pasta, random_key
+from repro.pasta import PASTA_MICRO, Pasta, PastaParams, random_key
 
 P = PASTA_MICRO.p
+
+#: PASTA_MICRO at the 33-bit datapath — the omega variant of the parity sweep.
+MICRO_33 = PastaParams(name="micro-33", t=2, rounds=2, p=P33, secure=False)
 
 
 @pytest.fixture(scope="module")
@@ -133,3 +139,129 @@ class TestBatchedTransciphering:
         result = server.transcipher_blocks([[int(x) for x in ct]], 7, [0])
         for out in result.ciphertexts:
             assert scheme.noise_budget_bits(sk, out) > 10
+
+
+class TestEvalEngineSelection:
+    def test_unknown_engine_rejected(self, ctx):
+        scheme, _, pk, rlk, encoder = ctx
+        key = random_key(PASTA_MICRO, b"sel")
+        enc_key = encrypt_key_batched(scheme, pk, encoder, key)
+        with pytest.raises(ParameterError, match="unknown evaluation engine"):
+            BatchedHheServer(PASTA_MICRO, scheme, rlk, encoder, enc_key, engine="simd")
+
+    def test_auto_picks_tensor_on_rns(self, ctx):
+        scheme, _, pk, rlk, encoder = ctx
+        key = random_key(PASTA_MICRO, b"sel")
+        enc_key = encrypt_key_batched(scheme, pk, encoder, key)
+        server = BatchedHheServer(PASTA_MICRO, scheme, rlk, encoder, enc_key)
+        assert server.eval_engine == "tensor"
+
+    def test_tensor_requires_rns_scheme(self):
+        bfv = toy_parameters(P, n=256, log2_q=190, rns=False)
+        scheme = Bfv(bfv, seed=b"sel-bigint")
+        _, pk, rlk = scheme.keygen()
+        encoder = BatchEncoder(bfv.n, P)
+        key = random_key(PASTA_MICRO, b"sel")
+        enc_key = encrypt_key_batched(scheme, pk, encoder, key)
+        with pytest.raises(ParameterError, match="requires the RNS"):
+            BatchedHheServer(PASTA_MICRO, scheme, rlk, encoder, enc_key, engine="tensor")
+        # auto falls back to the scalar evaluator on the big-int engine.
+        server = BatchedHheServer(PASTA_MICRO, scheme, rlk, encoder, enc_key)
+        assert server.eval_engine == "scalar"
+
+
+def _ciphertext_ints(scheme, result):
+    return [
+        [scheme.engine.to_ints(part) for part in ct.parts] for ct in result.ciphertexts
+    ]
+
+
+class TestTensorScalarParity:
+    """Property: both evaluation engines are the SAME function, bit-exact.
+
+    Identical ciphertext residues (not merely identical decryptions),
+    identical op counts, over random messages/nonces/counter schedules and
+    both prime widths (17-bit and 33-bit omega).
+    """
+
+    @pytest.fixture(scope="class")
+    def servers(self, ctx):
+        scheme, sk, pk, rlk, encoder = ctx
+        key = random_key(PASTA_MICRO, b"parity-17")
+        enc_key = encrypt_key_batched(scheme, pk, encoder, key)
+        cipher = Pasta(PASTA_MICRO, key)
+        built = {
+            eng: BatchedHheServer(PASTA_MICRO, scheme, rlk, encoder, enc_key, engine=eng)
+            for eng in ("scalar", "tensor")
+        }
+        return scheme, sk, encoder, cipher, built
+
+    @pytest.fixture(scope="class")
+    def servers_33(self):
+        bfv = toy_parameters(P33, n=256, log2_q=340, prime_bits=26)
+        scheme = Bfv(bfv, seed=b"parity-33")
+        sk, pk, rlk = scheme.keygen()
+        encoder = BatchEncoder(bfv.n, P33)
+        key = random_key(MICRO_33, b"parity-33")
+        enc_key = encrypt_key_batched(scheme, pk, encoder, key)
+        cipher = Pasta(MICRO_33, key)
+        built = {
+            eng: BatchedHheServer(MICRO_33, scheme, rlk, encoder, enc_key, engine=eng)
+            for eng in ("scalar", "tensor")
+        }
+        return scheme, sk, encoder, cipher, built
+
+    def _assert_parity(self, params, bundle, messages, nonce, counters):
+        scheme, sk, encoder, cipher, servers = bundle
+        blocks = [
+            [int(x) for x in cipher.encrypt_block(m, nonce, c)]
+            for c, m in zip(counters, messages)
+        ]
+        results = {
+            eng: server.transcipher_blocks(blocks, nonce, counters)
+            for eng, server in servers.items()
+        }
+        assert results["scalar"].ops == results["tensor"].ops
+        assert _ciphertext_ints(scheme, results["scalar"]) == _ciphertext_ints(
+            scheme, results["tensor"]
+        )
+        assert decrypt_batched_result(scheme, sk, encoder, results["tensor"]) == messages
+
+    @given(data=st.data())
+    @settings(max_examples=8, deadline=None)
+    def test_parity_17(self, servers, data):
+        n_blocks = data.draw(st.integers(min_value=1, max_value=4), label="blocks")
+        nonce = data.draw(st.integers(min_value=0, max_value=2**32 - 1), label="nonce")
+        start = data.draw(st.integers(min_value=0, max_value=1000), label="counter0")
+        counters = list(range(start, start + n_blocks))
+        messages = [
+            data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=PASTA_MICRO.p - 1),
+                    min_size=PASTA_MICRO.t,
+                    max_size=PASTA_MICRO.t,
+                ),
+                label=f"block{b}",
+            )
+            for b in range(n_blocks)
+        ]
+        self._assert_parity(PASTA_MICRO, servers, messages, nonce, counters)
+
+    @given(data=st.data())
+    @settings(max_examples=4, deadline=None)
+    def test_parity_33(self, servers_33, data):
+        n_blocks = data.draw(st.integers(min_value=1, max_value=2), label="blocks")
+        nonce = data.draw(st.integers(min_value=0, max_value=2**32 - 1), label="nonce")
+        counters = list(range(n_blocks))
+        messages = [
+            data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=MICRO_33.p - 1),
+                    min_size=MICRO_33.t,
+                    max_size=MICRO_33.t,
+                ),
+                label=f"block{b}",
+            )
+            for b in range(n_blocks)
+        ]
+        self._assert_parity(MICRO_33, servers_33, messages, nonce, counters)

@@ -84,3 +84,19 @@ class TestCosts:
         materials = generate_block_materials(PASTA_MICRO, 0, 0)
         with pytest.raises(ParameterError):
             KeystreamCircuit(PASTA_TOY, materials)
+
+    def test_materials_accept_equal_params_copy(self):
+        """Regression: the params check is structural equality, not identity.
+
+        Materials built from an equal-but-distinct PastaParams instance
+        (deserialized config, dataclasses.replace copy) must be accepted.
+        """
+        import dataclasses
+
+        from repro.pasta import generate_block_materials
+
+        params_copy = dataclasses.replace(PASTA_MICRO)
+        assert params_copy is not PASTA_MICRO
+        materials = generate_block_materials(params_copy, 0, 0)
+        circuit = KeystreamCircuit(PASTA_MICRO, materials)
+        assert circuit.materials is materials

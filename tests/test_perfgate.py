@@ -133,10 +133,10 @@ class TestRenderTable:
 class TestMain:
     def _dirs(self, tmp_path, current_fps):
         current, baseline = tmp_path / "current", tmp_path / "baseline"
-        write_bench(baseline, "BENCH_transcipher_throughput.json",
-                    {"engines": {"rns": {"blocks_per_s": 100.0}}, "speedup": 8.0})
-        write_bench(current, "BENCH_transcipher_throughput.json",
-                    {"engines": {"rns": {"blocks_per_s": current_fps}}, "speedup": 8.0})
+        write_bench(baseline, "BENCH_hom_affine.json",
+                    {"engines": {"tensor": {"blocks_per_s": 100.0}}, "speedup": 8.0})
+        write_bench(current, "BENCH_hom_affine.json",
+                    {"engines": {"tensor": {"blocks_per_s": current_fps}}, "speedup": 8.0})
         return current, baseline
 
     def test_exit_zero_when_within_tolerance(self, tmp_path, capsys):
