@@ -1,0 +1,143 @@
+"""Bench: BSGS rotation-based packed transciphering vs the tensor path.
+
+The tentpole number for the Galois-rotation work: an END-TO-END
+``transcipher_blocks`` run of the batched HHE server, timed for both
+RNS evaluation engines on the SAME scheme and the SAME block batch:
+
+* ``tensor`` — t ciphertexts per state, t^2 plain muls per affine layer
+  side (the previous fastest path);
+* ``bsgs`` — ONE packed ciphertext per state side, the affine layer as a
+  baby-step/giant-step diagonal sum: t diagonal plain muls and
+  O(sqrt t) Galois rotations per side, amortized over every block packed
+  into the slot groups.
+
+Nothing is extrapolated: parameters are sized (t = 32, 2 rounds, 17-bit
+prime, N = 512 so the packed capacity is 8 blocks) so both engines run a
+full batch in seconds, and blocks/s is measured from the wall-clock of
+the real circuit. The closed-form op-count model
+(:func:`repro.pasta.homomorphic_op_counts`) is validated against
+instrumented runs of BOTH engines, and the decrypted keystreams are
+pinned identical — the packed layout is an amortization, not an
+approximation.
+
+Acceptance bar: bsgs >= 1.5x tensor blocks/s, measured. Results land in
+``benchmarks/BENCH_bsgs_affine.json`` (CI artifact, gated by
+``repro perfgate`` against ``benchmarks/baselines/``).
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.fhe import BatchEncoder, Bfv, toy_parameters
+from repro.hhe import BatchedHheServer, decrypt_batched_result, encrypt_key_batched
+from repro.pasta import PASTA_MICRO, Pasta, PastaParams, homomorphic_op_counts, random_key
+
+SPEEDUP_FLOOR = 1.5
+BENCH_JSON = Path(__file__).parent / "BENCH_bsgs_affine.json"
+
+#: Reduced PASTA instance for the measured run: PASTA-4's state size
+#: (t = 32) so the BSGS split is the real (8, 4), with rounds/modulus
+#: small enough for a seconds-scale run. NOT SECURE — benchmark-only.
+PASTA_BSGS = PastaParams(name="pasta-bsgs", t=32, rounds=2, p=PASTA_MICRO.p, secure=False)
+N = 512
+#: Wider than the tensor bench's 170: each Galois key switch adds the same
+#: ~62-bit base-T noise floor relinearization pays once, and the packed
+#: plain-mul rows carry full-ring norms — the BSGS path needs ~30 more
+#: bits of q headroom than the tensor path for the same circuit depth.
+LOG2_Q = 240
+PRIME_BITS = 26
+BLOCKS = 8  #: exactly the packed capacity: (N/2) / t slot groups per row
+
+
+def test_bsgs_throughput(capsys):
+    params = toy_parameters(PASTA_BSGS.p, n=N, log2_q=LOG2_Q, prime_bits=PRIME_BITS)
+    scheme = Bfv(params, seed=b"bsgs-bench")
+    sk, pk, rlk = scheme.keygen()
+    gk = scheme.rotation_keygen(
+        sk, BatchedHheServer.required_rotation_steps(PASTA_BSGS, N)
+    )
+    encoder = BatchEncoder(params.n, PASTA_BSGS.p)
+    key = random_key(PASTA_BSGS, seed=b"bsgs-bench")
+    enc_key = encrypt_key_batched(scheme, pk, encoder, key)
+    cipher = Pasta(PASTA_BSGS, key)
+    messages = [
+        [(31 * b + j) % PASTA_BSGS.p for j in range(PASTA_BSGS.t)] for b in range(BLOCKS)
+    ]
+    blocks = [
+        [int(x) for x in cipher.encrypt_block(m, nonce=5, counter=c)]
+        for c, m in enumerate(messages)
+    ]
+    counters = list(range(BLOCKS))
+
+    report = {
+        "pasta": {"name": PASTA_BSGS.name, "t": PASTA_BSGS.t, "rounds": PASTA_BSGS.rounds},
+        "bfv": {"n": N, "log2_q": LOG2_Q, "prime_bits": PRIME_BITS},
+        "blocks": BLOCKS,
+        "op_counts": {
+            engine: homomorphic_op_counts(PASTA_BSGS, engine=engine)
+            for engine in ("slots", "bsgs")
+        },
+        "engines": {},
+    }
+    decryptions = {}
+    for engine in ("tensor", "bsgs"):
+        server = BatchedHheServer(
+            PASTA_BSGS, scheme, rlk, encoder, enc_key,
+            engine=engine, galois_keys=gk if engine == "bsgs" else None,
+        )
+        # Warm run: populates the prepared-plaintext LRUs (cached across
+        # calls in production) so the timed run measures the evaluation.
+        warm = server.transcipher_blocks(blocks, nonce=5, counters=counters)
+        assert decrypt_batched_result(scheme, sk, encoder, warm) == messages
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            result = server.transcipher_blocks(blocks, nonce=5, counters=counters)
+            best = min(best, time.perf_counter() - start)
+        decryptions[engine] = decrypt_batched_result(scheme, sk, encoder, result)
+        formula = "bsgs" if engine == "bsgs" else "slots"
+        measured = {
+            k: getattr(result.ops, k) for k in homomorphic_op_counts(PASTA_BSGS, formula)
+        }
+        assert measured == homomorphic_op_counts(PASTA_BSGS, engine=formula), (
+            engine, measured,
+        )
+        budget = min(scheme.noise_budget_bits(sk, ct) for ct in result.ciphertexts)
+        assert budget > 0, f"{engine} path out of noise budget ({budget:.1f} bits)"
+        report["engines"][engine] = {
+            "eval_s": best,
+            "blocks_per_s": BLOCKS / best,
+            "ciphertexts": len(result.ciphertexts),
+            "noise_budget_bits": budget,
+        }
+
+    # The packed path must reproduce the tensor path's plaintexts exactly.
+    assert decryptions["bsgs"] == decryptions["tensor"] == messages
+
+    speedup = (
+        report["engines"]["bsgs"]["blocks_per_s"]
+        / report["engines"]["tensor"]["blocks_per_s"]
+    )
+    report["speedup_vs_tensor"] = speedup
+    BENCH_JSON.write_text(json.dumps(report, indent=2) + "\n")
+
+    with capsys.disabled():
+        print()
+        print(
+            f"Packed BSGS {PASTA_BSGS.name} transciphering "
+            f"(t={PASTA_BSGS.t}, N={N}, log2 q={LOG2_Q}, {BLOCKS} blocks):"
+        )
+        for name, eng in report["engines"].items():
+            print(
+                f"  {name:7s} {eng['eval_s']:7.2f} s/evaluation  "
+                f"{eng['blocks_per_s']:8.2f} blocks/s  "
+                f"({eng['ciphertexts']} output cts)"
+            )
+        print(f"  speedup  {speedup:6.1f}x vs tensor  (floor {SPEEDUP_FLOOR}x)")
+        print(f"  -> {BENCH_JSON.name}")
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"bsgs path only {speedup:.2f}x over the tensor path; "
+        f"floor is {SPEEDUP_FLOOR}x"
+    )

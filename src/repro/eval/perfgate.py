@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from dataclasses import dataclass
 from pathlib import Path
@@ -39,6 +40,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 __all__ = [
     "GATED_METRICS",
     "DEFAULT_TOLERANCE",
+    "InvalidMetricError",
     "MetricDelta",
     "compare_reports",
     "compare_dirs",
@@ -63,6 +65,10 @@ GATED_METRICS: Dict[str, Tuple[Tuple[str, str], ...]] = {
         ("engines.tensor.blocks_per_s", "higher"),
         ("speedup", "higher"),
     ),
+    "BENCH_bsgs_affine.json": (
+        ("engines.bsgs.blocks_per_s", "higher"),
+        ("speedup_vs_tensor", "higher"),
+    ),
     "BENCH_obs_overhead.json": (
         ("overhead_pct", "floor:overhead_floor_pct"),
     ),
@@ -78,10 +84,21 @@ class MetricDelta:
     direction: str
     baseline: Optional[float]
     current: Optional[float]
+    #: Hard-failure reason (missing current report, boolean / non-finite
+    #: metric). An errored delta always regresses, never skips.
+    error: Optional[str] = None
 
     @property
     def is_floor(self) -> bool:
         return self.direction.startswith("floor:")
+
+    @property
+    def _invalid(self) -> bool:
+        """A side holds a value that cannot be gated (bool, NaN, inf)."""
+        return any(
+            isinstance(v, bool) or (v is not None and not math.isfinite(v))
+            for v in (self.baseline, self.current)
+        )
 
     @property
     def change(self) -> Optional[float]:
@@ -90,6 +107,8 @@ class MetricDelta:
         For ``floor:`` gates, ``baseline`` holds the absolute bound and
         ``change`` is the remaining headroom below it.
         """
+        if self._invalid:
+            return None
         if self.baseline is None or self.current is None or self.baseline == 0:
             return None
         if self.is_floor:
@@ -98,6 +117,11 @@ class MetricDelta:
         return raw if self.direction == "higher" else -raw
 
     def regressed(self, tolerance: float) -> bool:
+        # A NaN/inf/bool metric or a benchmark that stopped producing a
+        # report must FAIL the gate, not slip through a skip: every
+        # ``change < threshold`` comparison against NaN is silently false.
+        if self.error is not None or self._invalid:
+            return True
         change = self.change
         if change is None:
             return False
@@ -107,36 +131,71 @@ class MetricDelta:
 
     @property
     def skipped(self) -> bool:
+        if self.error is not None or self._invalid:
+            return False
         return self.baseline is None or self.current is None
 
 
+class InvalidMetricError(ValueError):
+    """A gated metric holds a value the gate must not silently accept."""
+
+
 def _extract(report: dict, dotted: str) -> Optional[float]:
+    """Resolve a dotted path to a finite number, None if absent.
+
+    Booleans (``isinstance(True, int)``!) and non-finite floats raise
+    :class:`InvalidMetricError` — a report asserting ``"fps": NaN`` would
+    otherwise make every regression comparison vacuously false.
+    """
     node: object = report
     for part in dotted.split("."):
         if not isinstance(node, dict) or part not in node:
             return None
         node = node[part]
-    return float(node) if isinstance(node, (int, float)) else None
+    if isinstance(node, bool):
+        raise InvalidMetricError(f"{dotted} is a boolean, not a number")
+    if not isinstance(node, (int, float)):
+        return None
+    value = float(node)
+    if not math.isfinite(value):
+        raise InvalidMetricError(f"{dotted} is non-finite ({node!r})")
+    return value
 
 
 def compare_reports(
     bench: str, current: Optional[dict], baseline: Optional[dict]
 ) -> List[MetricDelta]:
-    """Deltas for every gated metric of one benchmark file."""
+    """Deltas for every gated metric of one benchmark file.
+
+    ``current=None`` (report missing or unparseable) with a baseline
+    present is a hard failure per metric — a benchmark job that silently
+    stops producing its report must not pass CI forever. A metric missing
+    *inside* a present report stays a skip (new metrics gate only once both
+    sides carry them); a missing baseline stays a skip (newly added bench).
+    """
     deltas = []
+    missing_current = current is None and baseline is not None
     for dotted, direction in GATED_METRICS.get(bench, ()):
-        if direction.startswith("floor:"):
-            # The bound lives inside the current report itself.
-            bound = _extract(current, direction.split(":", 1)[1]) if current else None
-        else:
-            bound = _extract(baseline, dotted) if baseline else None
+        error = "missing current report" if missing_current else None
+        bound = value = None
+        try:
+            if direction.startswith("floor:"):
+                # The bound lives inside the current report itself.
+                bound = _extract(current, direction.split(":", 1)[1]) if current else None
+            else:
+                bound = _extract(baseline, dotted) if baseline else None
+            value = _extract(current, dotted) if current else None
+        except InvalidMetricError as exc:
+            error = str(exc)
+            bound = value = None
         deltas.append(
             MetricDelta(
                 bench=bench,
                 metric=dotted,
                 direction=direction,
                 baseline=bound,
-                current=_extract(current, dotted) if current else None,
+                current=value,
+                error=error,
             )
         )
     return deltas
@@ -173,7 +232,11 @@ def render_table(deltas: Sequence[MetricDelta], tolerance: float) -> str:
     for d in deltas:
         baseline = f"{d.baseline:.3f}" if d.baseline is not None else "-"
         current = f"{d.current:.3f}" if d.current is not None else "-"
-        if d.skipped:
+        if d.error is not None:
+            change, verdict = "-", f"FAIL ({d.error})"
+        elif d._invalid:
+            change, verdict = "-", "FAIL (invalid metric value)"
+        elif d.skipped:
             change, verdict = "-", "SKIP (missing side)"
         elif d.is_floor:
             change = f"{d.change:+.1%}"

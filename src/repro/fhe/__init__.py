@@ -5,10 +5,20 @@ from repro.fhe.bfv import (
     Bfv,
     BfvParams,
     Ciphertext,
+    GaloisKey,
     PublicKey,
     RelinKey,
     SecretKey,
     toy_parameters,
+)
+from repro.fhe.galois import (
+    conjugation_element,
+    eval_permutation,
+    galois_slot_order,
+    replicate_rows_to_slots,
+    rotation_element,
+    slot_exponents,
+    slots_to_logical,
 )
 from repro.fhe.engine import (
     BigintEngine,
@@ -41,6 +51,7 @@ __all__ = [
     "CiphertextTensor",
     "ExactBaseLift",
     "ExactRescaler",
+    "GaloisKey",
     "MixedRadix",
     "NegacyclicNtt",
     "PolyRng",
@@ -56,13 +67,20 @@ __all__ = [
     "bitrev_indices",
     "butterfly_fits_int64",
     "centered",
+    "conjugation_element",
     "convolve_signed",
+    "eval_permutation",
+    "galois_slot_order",
     "get_ntt",
     "get_rns_context",
     "get_vec_ntt",
     "make_engine",
     "negacyclic_mul_exact",
     "ntt_prime_chain",
+    "replicate_rows_to_slots",
     "rns_negacyclic_mul_exact",
+    "rotation_element",
+    "slot_exponents",
+    "slots_to_logical",
     "toy_parameters",
 ]

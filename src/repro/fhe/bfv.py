@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.errors import NoiseBudgetExhausted, ParameterError
 from repro.fhe.engine import CiphertextTensor, PreparedPlain, make_engine, round_div
+from repro.fhe.galois import rotation_element
 from repro.fhe.rns import ntt_prime_chain
 from repro.fhe.rng import PolyRng
 
@@ -142,6 +143,31 @@ class RelinKey:
     parts: List[Tuple[Any, Any]]
 
 
+@dataclass
+class GaloisKey:
+    """Base-T key-switching keys for tau_g(s) -> s, one list per element g.
+
+    Same digit decomposition as :class:`RelinKey` — element g's entry i is
+    ``(-(a_i s + e_i) + T^i tau_g(s), a_i)`` — so applying an automorphism
+    costs exactly one relinearization-shaped key switch.
+    """
+
+    keys: "dict[int, List[Tuple[Any, Any]]]"
+
+    @property
+    def elements(self) -> Tuple[int, ...]:
+        return tuple(sorted(self.keys))
+
+    def parts_for(self, element: int) -> List[Tuple[Any, Any]]:
+        try:
+            return self.keys[element]
+        except KeyError:
+            raise ParameterError(
+                f"no Galois key material for element {element} "
+                f"(have {sorted(self.keys)})"
+            ) from None
+
+
 class Bfv:
     """The BFV scheme instance (deterministic given the seed).
 
@@ -184,6 +210,39 @@ class Bfv:
             parts.append((b_i, a_i))
             power = (power * params.relin_base) % params.q
         return sk, pk, RelinKey(parts=parts)
+
+    def galois_keygen(self, sk: SecretKey, elements: Sequence[int]) -> GaloisKey:
+        """Generate key-switching material for the given Galois elements.
+
+        The identity element 1 needs no key switch and is skipped; duplicate
+        elements are generated once. Key material is deterministic given the
+        scheme seed and the *order* of prior RNG draws, like every other
+        keygen here.
+        """
+        eng = self.engine
+        params = self.params
+        keys: dict = {}
+        for element in elements:
+            g = int(element) % (2 * params.n)
+            if g == 1 or g in keys:
+                continue
+            s_g = eng.galois(sk.s, g)
+            parts = []
+            power = 1
+            for _ in range(params.relin_parts):
+                a_i = eng.lift(self._rng.uniform_mod(params.q, params.n))
+                e_i = eng.lift(self._rng.centered_binomial(params.eta, params.n))
+                b_i = eng.add(eng.sub(eng.neg(eng.mul(a_i, sk.s)), e_i), eng.scalar_mul(power, s_g))
+                parts.append((b_i, a_i))
+                power = (power * params.relin_base) % params.q
+            keys[g] = parts
+        return GaloisKey(keys=keys)
+
+    def rotation_keygen(self, sk: SecretKey, steps: Sequence[int]) -> GaloisKey:
+        """Galois keys for slot rotations by each of ``steps`` (see rotate_slots)."""
+        return self.galois_keygen(
+            sk, [rotation_element(self.params.n, s) for s in steps]
+        )
 
     # -- encryption / decryption ---------------------------------------------------
 
@@ -351,6 +410,42 @@ class Bfv:
     def square(self, ct: Ciphertext, rlk: RelinKey) -> Ciphertext:
         return self.multiply(ct, ct, rlk)
 
+    # -- Galois automorphisms / slot rotations ------------------------------------
+
+    def apply_galois(self, ct: Ciphertext, element: int, gk: GaloisKey) -> Ciphertext:
+        """Apply tau_g to a 2-component ciphertext and switch back to s.
+
+        tau_g maps an encryption under s to one under tau_g(s); the base-T
+        key switch (same decomposition as relinearization) returns it to s,
+        so the result decrypts to the slot-permuted plaintext.
+        """
+        if ct.size != 2:
+            raise ParameterError("apply_galois expects a 2-component ciphertext")
+        eng = self.engine
+        params = self.params
+        g = int(element) % (2 * params.n)
+        if g == 1:
+            return Ciphertext(parts=list(ct.parts))
+        c0 = eng.galois(ct.parts[0], g)
+        c1 = eng.galois(ct.parts[1], g)
+        digits = eng.relin_digits(c1, params.relin_base, params.relin_parts)
+        new0 = c0
+        new1 = None
+        for d, (b_i, a_i) in zip(digits, gk.parts_for(g)):
+            new0 = eng.add(new0, eng.mul(d, b_i))
+            term = eng.mul(d, a_i)
+            new1 = term if new1 is None else eng.add(new1, term)
+        return Ciphertext(parts=[new0, new1])
+
+    def rotate_slots(self, ct: Ciphertext, steps: int, gk: GaloisKey) -> Ciphertext:
+        """Rotate both batching-hypercube rows LEFT by ``steps`` slots.
+
+        Slots are organized as a (2, N/2) hypercube in generator order (see
+        :func:`repro.fhe.galois.galois_slot_order`); negative steps rotate
+        right. The required key is produced by :meth:`rotation_keygen`.
+        """
+        return self.apply_galois(ct, rotation_element(self.params.n, steps), gk)
+
     # -- fused ciphertext-tensor operations (RNS engine only) ---------------------
 
     def _tensor_engine(self):
@@ -403,6 +498,26 @@ class Bfv:
         centered = np.where(reduced > half, reduced - p, reduced)
         value = eng.ctx.forward(eng.ctx.to_rns_batch(centered))
         return PreparedPlain(kind="matmul", engine=eng.name, value=value)
+
+    def prepare_mul_rows(self, encoded_rows: np.ndarray) -> PreparedPlain:
+        """Prepare a (J, N) stack of encoded plaintexts for slot-wise products.
+
+        Rows get the same centered-mod-p lift as ``prepare_mul_plain`` and
+        one batched forward transform; consumed by
+        :meth:`tensor_mul_plain_rows` (row j multiplies stacked ciphertext j).
+        """
+        eng = self._tensor_engine()
+        encoded = np.asarray(encoded_rows)
+        if encoded.ndim != 2 or encoded.shape[-1] != self.params.n:
+            raise ParameterError(
+                f"expected a (J, {self.params.n}) encoded row stack, got {encoded.shape}"
+            )
+        p = self.params.p
+        half = p // 2
+        reduced = encoded % p
+        centered = np.where(reduced > half, reduced - p, reduced)
+        value = eng.ctx.forward(eng.ctx.to_rns_batch(centered))
+        return PreparedPlain(kind="mul_rows", engine=eng.name, value=value)
 
     def prepare_add_rows(self, encoded_rows: np.ndarray) -> PreparedPlain:
         """Prepare a (J, N) stack of encoded plaintexts for broadcast addition.
@@ -471,6 +586,46 @@ class Bfv:
         return eng.tensor_relin(
             parts3, self.params.relin_base, self.params.relin_parts, self._relin_key_stacks(rlk)
         )
+
+    def tensor_mul_plain_rows(self, state: CiphertextTensor, rows: PreparedPlain) -> CiphertextTensor:
+        """Slot-wise plaintext product per stacked ciphertext (masking etc.)."""
+        return self._tensor_engine().tensor_mul_plain(
+            state, self._take_prepared_tensor(rows, "mul_rows")
+        )
+
+    def _galois_key_stacks(self, gk: GaloisKey, element: int):
+        cache = getattr(gk, "_tensor_stacks", None)
+        if cache is None:
+            cache = {}
+            gk._tensor_stacks = cache
+        stacks = cache.get(element)
+        if stacks is None:
+            stacks = self._tensor_engine().galois_key_stacks(gk.parts_for(element))
+            cache[element] = stacks
+        return stacks
+
+    def tensor_apply_galois(
+        self, state: CiphertextTensor, element: int, gk: GaloisKey
+    ) -> CiphertextTensor:
+        """Batched tau_g + key switch over a (B, 2, L, N) ciphertext stack."""
+        eng = self._tensor_engine()
+        params = self.params
+        g = int(element) % (2 * params.n)
+        if g == 1:
+            return state
+        if state.parts != 2:
+            raise ParameterError("tensor galois expects 2-part ciphertext tensors")
+        rotated = eng.tensor_galois(state, g)
+        return eng.tensor_keyswitch(
+            rotated.data,
+            params.relin_base,
+            params.relin_parts,
+            self._galois_key_stacks(gk, g),
+        )
+
+    def tensor_rotate(self, state: CiphertextTensor, steps: int, gk: GaloisKey) -> CiphertextTensor:
+        """Batched slot rotation (left by ``steps``) of every stacked ciphertext."""
+        return self.tensor_apply_galois(state, rotation_element(self.params.n, steps), gk)
 
     def expect_correct(self, sk: SecretKey, ct: Ciphertext, expected: int) -> None:
         """Raise :class:`NoiseBudgetExhausted` if decryption mismatches."""

@@ -190,6 +190,18 @@ class BigintEngine:
             remainder = [c // base for c in remainder]
         return digits
 
+    # -- Galois automorphisms --------------------------------------------------------
+
+    def galois(self, poly: List[int], element: int) -> List[int]:
+        """tau_g(a)(x) = a(x^g): signed monomial permutation of coefficients."""
+        from repro.fhe.galois import coeff_automorphism_maps
+
+        dest, negate = coeff_automorphism_maps(self.n, element)
+        out = [0] * self.n
+        for i, c in enumerate(poly):
+            out[int(dest[i])] = (self.q - c) % self.q if negate[i] else c
+        return out
+
 
 class RnsEngine:
     """RNS/CRT engine: residue-matrix polynomials, lazy NTT-domain ops."""
@@ -290,6 +302,20 @@ class RnsEngine:
             digits.append(self.lift([c % base for c in remainder]))
             remainder = [c // base for c in remainder]
         return digits
+
+    # -- Galois automorphisms --------------------------------------------------------
+
+    def galois(self, poly: RnsPoly, element: int) -> RnsPoly:
+        """tau_g as a pure eval-domain index permutation (no transform needed).
+
+        The NTT slot at root exponent e holds a(psi^e), and tau_g(a)
+        evaluates at psi^(e*g) — a fixed permutation of the residue columns,
+        identical across every prime of the chain.
+        """
+        from repro.fhe.galois import eval_permutation
+
+        perm = eval_permutation(self.n, element)
+        return RnsPoly(self.ctx, evals=np.array(poly.eval_mat()[:, perm]))
 
     # -- fused ciphertext-tensor kernels -------------------------------------------
 
@@ -425,6 +451,46 @@ class RnsEngine:
         digits = self.ctx.forward(np.stack(digit_mats, axis=1))  # (B, D, L, N)
         new0 = self.ctx.mod_add(parts3[:, 0], self.ctx.weighted_sum_mod(digits, b_stack))
         new1 = self.ctx.mod_add(parts3[:, 1], self.ctx.weighted_sum_mod(digits, a_stack))
+        return CiphertextTensor(self.ctx, np.stack([new0, new1], axis=1))
+
+    def tensor_mul_plain(self, state: CiphertextTensor, rows: np.ndarray) -> CiphertextTensor:
+        """Slot-wise plaintext product: (B, parts, L, N) x prepared (B, L, N)."""
+        if rows.shape[0] != state.slots:
+            raise ParameterError(f"expected {state.slots} plaintext rows, got {rows.shape[0]}")
+        return CiphertextTensor(self.ctx, self.ctx.mod_mul(state.data, rows[:, None]))
+
+    def tensor_galois(self, state: CiphertextTensor, element: int) -> CiphertextTensor:
+        """Apply tau_g to every part of every stacked ciphertext (no keyswitch)."""
+        from repro.fhe.galois import eval_permutation
+
+        perm = eval_permutation(self.ctx.n, element)
+        return CiphertextTensor(self.ctx, np.ascontiguousarray(state.data[..., perm]))
+
+    def galois_key_stacks(self, gk_parts: Sequence[Sequence[RnsPoly]]) -> tuple:
+        """(D, L, N) eval-domain stacks of one Galois key element's halves."""
+        return self.relin_key_stacks(gk_parts)
+
+    def tensor_keyswitch(self, parts2: np.ndarray, base: int, count: int, key_stacks: tuple) -> CiphertextTensor:
+        """Batched base-T key switch of (B, 2, L, N) parts under tau_g(s) -> s.
+
+        ``parts2`` already carries tau_g applied to both components; the
+        c1 component is digit-decomposed against a key encrypting
+        ``T^i tau_g(s)`` (same transport as :meth:`tensor_relin`, minus the
+        pass-through c1 term).
+        """
+        b_stack, a_stack = key_stacks
+        c1 = self.ctx.from_rns_batch(self.ctx.inverse(parts2[:, 1]))  # (B, N) object
+        digit_mats = []
+        remainder = c1
+        for _ in range(count):
+            digit = remainder % base
+            if base <= _DIGIT_INT64_MAX:
+                digit = digit.astype(np.int64)
+            digit_mats.append(self.ctx.to_rns_batch(digit))
+            remainder = remainder // base
+        digits = self.ctx.forward(np.stack(digit_mats, axis=1))  # (B, D, L, N)
+        new0 = self.ctx.mod_add(parts2[:, 0], self.ctx.weighted_sum_mod(digits, b_stack))
+        new1 = self.ctx.weighted_sum_mod(digits, a_stack)
         return CiphertextTensor(self.ctx, np.stack([new0, new1], axis=1))
 
 

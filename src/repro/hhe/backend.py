@@ -25,6 +25,7 @@ class BfvOpCounts:
     squares: int = 0
     muls: int = 0
     relins: int = 0
+    rotations: int = 0  #: Galois automorphism + key switch (BSGS engine only)
 
 
 class BfvBackend(ArithmeticBackend[Ciphertext]):

@@ -22,36 +22,56 @@ Two evaluation engines share that circuit:
   :class:`~repro.fhe.engine.CiphertextTensor` ``(t, 2, L, N)`` NTT-domain
   residue ndarray; each affine layer side is a single prepared-matrix
   einsum per residue prime plus a broadcast round-constant add, and the
-  S-boxes run batched square/multiply kernels. Requires the RNS engine;
-  ``engine="auto"`` (the default) picks it whenever available. Both
-  engines produce bit-identical ciphertext residues and identical op
+  S-boxes run batched square/multiply kernels. Requires the RNS engine.
+  Both engines produce bit-identical ciphertext residues and identical op
   counts.
+* ``engine="bsgs"`` — the *packed* layout: ONE ciphertext per state side
+  carries the whole t-element state across slot groups (state j of block b
+  sits at logical slot ``j * group + b``), and each affine layer side runs
+  by the baby-step/giant-step diagonal method — t diagonal plaintext
+  products plus O(sqrt t) Galois rotations instead of t^2 plain muls.
+  Requires the RNS engine *and* a :class:`~repro.fhe.bfv.GaloisKey`
+  covering :meth:`BatchedHheServer.required_rotation_steps`;
+  ``engine="auto"`` (the default) picks it whenever both are available,
+  falling back to ``tensor`` (RNS without rotation keys) then ``scalar``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ParameterError
 from repro.fhe.batching import BatchEncoder
-from repro.fhe.bfv import Bfv, Ciphertext, PublicKey, RelinKey
+from repro.fhe.bfv import Bfv, Ciphertext, GaloisKey, PublicKey, RelinKey
 from repro.fhe.engine import CiphertextTensor
+from repro.fhe.galois import (
+    replicate_rows_to_slots,
+    rotation_element,
+    slots_to_logical,
+)
 from repro.hhe.backend import BfvOpCounts
 from repro.pasta.batch import get_engine
+from repro.pasta.decrypt_circuit import bsgs_split
 from repro.pasta.params import PastaParams
 
 
 @dataclass
 class BatchedTranscipherResult:
-    """t ciphertexts whose slots hold the B transciphered blocks."""
+    """t ciphertexts whose slots hold the B transciphered blocks.
+
+    Under the packed BSGS engine there is a single ciphertext instead and
+    ``group_size`` is set: message element j of block b sits at logical
+    slot ``j * group_size + b`` (generator slot order, row 0).
+    """
 
     ciphertexts: List[Ciphertext]
     counters: List[int]
     ops: BfvOpCounts
+    group_size: Optional[int] = None
 
 
 def encrypt_key_batched(
@@ -75,6 +95,7 @@ class BatchedHheServer:
         encoder: BatchEncoder,
         encrypted_key: Sequence[Ciphertext],
         engine: str = "auto",
+        galois_keys: Optional[GaloisKey] = None,
     ):
         if scheme.params.p != params.p:
             raise ParameterError("BFV plaintext modulus must equal the PASTA prime")
@@ -85,19 +106,49 @@ class BatchedHheServer:
         self.rlk = rlk
         self.encoder = encoder
         self.encrypted_key = list(encrypted_key)
+        self.galois_keys = galois_keys
         scheme_engine = getattr(scheme.engine, "name", "bigint")
+        packable = scheme.params.n // 2 >= params.t and (scheme.params.n // 2) % params.t == 0
         if engine == "auto":
-            engine = "tensor" if scheme_engine == "rns" else "scalar"
-        if engine not in ("scalar", "tensor"):
+            if scheme_engine == "rns" and galois_keys is not None and packable:
+                engine = "bsgs"
+            else:
+                engine = "tensor" if scheme_engine == "rns" else "scalar"
+        if engine not in ("scalar", "tensor", "bsgs"):
             raise ParameterError(f"unknown evaluation engine {engine!r}")
-        if engine == "tensor" and scheme_engine != "rns":
+        if engine in ("tensor", "bsgs") and scheme_engine != "rns":
             raise ParameterError(
-                f"engine='tensor' requires the RNS evaluation engine, "
+                f"engine={engine!r} requires the RNS evaluation engine, "
                 f"scheme uses {scheme_engine!r}"
             )
+        if engine == "bsgs":
+            if not packable:
+                raise ParameterError(
+                    f"engine='bsgs' needs t={params.t} to divide the slot-row "
+                    f"width N/2={scheme.params.n // 2}"
+                )
+            if galois_keys is None:
+                raise ParameterError(
+                    "engine='bsgs' requires Galois rotation keys "
+                    "(Bfv.rotation_keygen over required_rotation_steps)"
+                )
+            required = self.required_rotation_steps(params, scheme.params.n)
+            missing = sorted(
+                {
+                    rotation_element(scheme.params.n, step)
+                    for step in required
+                }
+                - set(galois_keys.keys)
+                - {1}
+            )
+            if missing:
+                raise ParameterError(
+                    f"Galois key is missing elements {missing} for rotation "
+                    f"steps {required} (have {sorted(galois_keys.keys)})"
+                )
         #: Which circuit evaluator ``transcipher_blocks`` dispatches to
-        #: ("scalar" | "tensor"). Named ``eval_engine`` because ``engine``
-        #: is the keystream engine below.
+        #: ("scalar" | "tensor" | "bsgs"). Named ``eval_engine`` because
+        #: ``engine`` is the keystream engine below.
         self.eval_engine = engine
         #: Shared batched keystream engine: materials and matrices for the
         #: public (nonce, counter) schedule come from its LRU, so serving
@@ -158,6 +209,123 @@ class BatchedHheServer:
 
         self._prepared_matrix_tensor = _prepared_matrix_tensor
         self._prepared_rc_tensor = _prepared_rc_tensor
+
+        if engine == "bsgs":
+            self._init_bsgs()
+
+    # -- packed BSGS layout --------------------------------------------------------
+
+    @staticmethod
+    def required_rotation_steps(params: PastaParams, ring_n: int) -> List[int]:
+        """Left-rotation steps the packed BSGS evaluator key-switches by.
+
+        Baby steps advance one state group (``group``), Horner giant steps
+        advance ``bs`` groups, and the Feistel S-box shifts the squared
+        state one group *right* (``N/2 - group`` left). Steps whose factor
+        collapses to 1 for the parameter set are omitted.
+        """
+        half = ring_n // 2
+        group = half // params.t
+        bs, giants = bsgs_split(params.t)
+        steps: List[int] = []
+        if bs > 1:
+            steps.append(group)
+        if giants > 1:
+            steps.append(bs * group)
+        if params.rounds > 1:
+            steps.append(half - group)
+        return sorted(set(steps))
+
+    @property
+    def packed_capacity(self) -> int:
+        """Blocks per packed ciphertext (= slots per state group)."""
+        return self._group_size
+
+    def _encode_logical_rows(self, rows: np.ndarray) -> np.ndarray:
+        """(R, N/2) logical rows -> (R, N) encoded plaintext polynomials."""
+        slots = replicate_rows_to_slots(self.scheme.params.n, rows)
+        return self.encoder.encode_rows(slots)
+
+    def _init_bsgs(self) -> None:
+        t = self.params.t
+        half = self.scheme.params.n // 2
+        #: Slots per state group == packed block capacity.
+        self._group_size = half // t
+        self._bsgs = bsgs_split(t)
+
+        # Pack the 2t slot-replicated key ciphertexts into [L, R]: one
+        # (2, 2t, L, N) mask tensor contracted against the (2t, 2, L, N) key
+        # stack — a single einsum, once per server instance (key-setup cost,
+        # excluded from the per-evaluation op counts like key packing in
+        # encrypt_key_batched itself).
+        B = self._group_size
+        masks = np.zeros((2, 2 * t, half), dtype=np.int64)
+        for j in range(t):
+            masks[0, j, j * B : (j + 1) * B] = 1
+            masks[1, t + j, j * B : (j + 1) * B] = 1
+        encoded = self._encode_logical_rows(masks.reshape(4 * t, half))
+        prepared = self.scheme.prepare_matrix(
+            encoded.reshape(2, 2 * t, self.scheme.params.n)
+        )
+        key_stack = self.scheme.stack_ciphertexts(self.encrypted_key)
+        self._packed_key = self.scheme.tensor_affine(key_stack, prepared)
+
+        # Feistel masks: "not the first state group" (both sides) and "the
+        # first state group" (cross term from L's last group into R's first).
+        not_first = np.ones((2, half), dtype=np.int64)
+        not_first[:, :B] = 0
+        first = np.zeros((1, half), dtype=np.int64)
+        first[0, :B] = 1
+        self._mask_not_first = self.scheme.prepare_mul_rows(
+            self._encode_logical_rows(not_first)
+        )
+        self._mask_first = self.scheme.prepare_mul_rows(self._encode_logical_rows(first))
+
+        # Prepared diagonal stacks per (schedule, layer, side): the G*bs
+        # generalized diagonals of the blocked affine matrix, pre-rotated
+        # for the giant-step Horner form, as ONE (G, bs, L, N) prepared
+        # matmul tensor. The LRU plays the role the per-(j, k) handle cache
+        # plays for the slot engines.
+        @lru_cache(maxsize=64)
+        def _prepared_diags_bsgs(
+            nonce: int, counters: Tuple[int, ...], layer: int, side: str
+        ):
+            bs, giants = self._bsgs
+            n_blocks = len(counters)
+            mats = np.stack(
+                [np.asarray(self.engine.matrix(nonce, c, layer, side)) for c in counters]
+            )  # (n_blocks, t, t)
+            rows = np.zeros((giants * bs, half), dtype=mats.dtype)
+            j = np.arange(t)
+            for d in range(min(giants * bs, t)):
+                ld = np.zeros((t, B), dtype=mats.dtype)
+                ld[:, :n_blocks] = mats[:, j, (j + d) % t].T  # ld[j, b] = M_b[j, j+d]
+                rows[d] = np.roll(ld.reshape(half), (d // bs) * bs * B)
+            encoded = self._encode_logical_rows(rows)
+            return self.scheme.prepare_matrix(
+                encoded.reshape(giants, bs, self.scheme.params.n)
+            )
+
+        @lru_cache(maxsize=256)
+        def _prepared_rc_bsgs(nonce: int, counters: Tuple[int, ...], layer: int):
+            materials = self.engine.materials(nonce, list(counters))
+            n_blocks = len(counters)
+            vals = {
+                side: np.stack(
+                    [np.asarray(getattr(m.layers[layer], f"rc_{side}")) for m in materials],
+                    axis=-1,
+                )
+                for side in ("l", "r")
+            }  # (t, n_blocks) each
+            rows = np.zeros((2, half), dtype=vals["l"].dtype)
+            for s_idx, side in enumerate(("l", "r")):
+                ld = np.zeros((t, B), dtype=vals[side].dtype)
+                ld[:, :n_blocks] = vals[side]
+                rows[s_idx] = ld.reshape(half)
+            return self.scheme.prepare_add_rows(self._encode_logical_rows(rows))
+
+        self._prepared_diags_bsgs = _prepared_diags_bsgs
+        self._prepared_rc_bsgs = _prepared_rc_bsgs
 
     # -- slot-wise circuit pieces -------------------------------------------------
 
@@ -270,6 +438,119 @@ class BatchedHheServer:
         self._ops.relins += 2 * n
         return self.scheme.tensor_mul(self.scheme.tensor_square(full, self.rlk), full, self.rlk)
 
+    # -- packed BSGS circuit pieces ------------------------------------------------
+
+    def _rotate_stack(self, state: CiphertextTensor, steps: int) -> CiphertextTensor:
+        """Rotate every stacked ciphertext left by ``steps`` (keyswitch each)."""
+        from repro.obs import get_tracer
+        from repro.obs.cycles import modeled_rotation_attributes
+
+        self._ops.rotations += state.slots
+        with get_tracer().span(
+            "hhe.rotate",
+            metric="hhe.rotate.seconds",
+            engine="bsgs",
+            steps=steps,
+            **modeled_rotation_attributes(self.params, state.slots),
+        ):
+            return self.scheme.tensor_rotate(state, steps, self.galois_keys)
+
+    def _bsgs_affine_pair(
+        self, state: CiphertextTensor, nonce: int, counters: Tuple[int, ...], layer: int
+    ) -> CiphertextTensor:
+        """Both affine layer sides on the packed [L, R] pair, BSGS-style.
+
+        With the state-major packing the blocked t*B x t*B matrix has t
+        generalized diagonals, all at multiples of the group size B:
+
+            out = sum_d diag(d*B) . rot(d*B, v)
+
+        Split d = g*bs + i and hoist the giant rotations out of the sum
+        (Horner over g), pre-rotating the diagonals by ``g*bs*B`` right at
+        preparation time:
+
+            out = sum_g rot(g*bs*B, sum_i prep_diag[g, i] . baby_i)
+
+        The bs babies are a rotation *chain* (one key element), the inner
+        sums are ONE prepared-matrix einsum per side, and each Horner step
+        is one rotation of the [L, R] accumulator pair. Total per side:
+        bs*G (= t) plain muls, bs*G - 1 adds, (bs-1)+(G-1) rotations.
+        """
+        bs, giants = self._bsgs
+        B = self._group_size
+        eng = self.scheme.engine
+        prep = {
+            side: self._take_prepared_diags(nonce, counters, layer, side)
+            for side in ("l", "r")
+        }
+        rc = self._prepared_rc_bsgs(nonce, counters, layer)
+        self._ops.plain_muls += 2 * bs * giants
+        self._ops.adds += 2 * (giants * bs - 1)
+        self._ops.plain_adds += 2
+        with self._affine_span("bsgs", layer, "lr", 2 * len(counters)):
+            babies = [state]
+            for _ in range(bs - 1):
+                babies.append(self._rotate_stack(babies[-1], B))
+            giant_sums = [
+                eng.ctx.matmul_mod(
+                    prep[side], np.stack([b.data[s_idx] for b in babies])
+                )  # (G, bs, L, N) x (bs, 2, L, N) -> (G, 2, L, N)
+                for s_idx, side in enumerate(("l", "r"))
+            ]
+            acc = CiphertextTensor(
+                eng.ctx, np.stack([giant_sums[0][giants - 1], giant_sums[1][giants - 1]])
+            )
+            for g in range(giants - 2, -1, -1):
+                rotated = self._rotate_stack(acc, bs * B)
+                pair = CiphertextTensor(
+                    eng.ctx, np.stack([giant_sums[0][g], giant_sums[1][g]])
+                )
+                acc = self.scheme.tensor_add(pair, rotated)
+            return self.scheme.tensor_add_plain_rows(acc, rc)
+
+    def _take_prepared_diags(self, nonce, counters, layer, side):
+        return self.scheme._take_prepared_tensor(
+            self._prepared_diags_bsgs(nonce, counters, layer, side), "matmul"
+        )
+
+    def _packed_mix(self, state: CiphertextTensor) -> CiphertextTensor:
+        self._ops.adds += 3
+        s = self.scheme.tensor_add(state[0], state[1])
+        return CiphertextTensor.concat(
+            [self.scheme.tensor_add(state[0], s), self.scheme.tensor_add(state[1], s)]
+        )
+
+    def _packed_feistel(self, state: CiphertextTensor) -> CiphertextTensor:
+        """Feistel over the packed 2t-element state [L, R].
+
+        ``out[j] = x[j] + x[j-1]^2`` becomes: square both packed sides,
+        rotate the squares one state group RIGHT, then mask — groups 1..t-1
+        add their left neighbor's square in place, and R's group 0 picks up
+        L's last group through the cross mask.
+        """
+        half = self.scheme.params.n // 2
+        B = self._group_size
+        self._ops.squares += 2
+        self._ops.relins += 2
+        self._ops.plain_muls += 3
+        self._ops.adds += 3
+        sq = self.scheme.tensor_square(state, self.rlk)
+        sq_rot = self._rotate_stack(sq, half - B)  # right by one group
+        masked = self.scheme.tensor_mul_plain_rows(sq_rot, self._mask_not_first)
+        out = self.scheme.tensor_add(state, masked)
+        cross = self.scheme.tensor_mul_plain_rows(sq_rot[0], self._mask_first)
+        return CiphertextTensor.concat(
+            [out[0], self.scheme.tensor_add(out[1], cross)]
+        )
+
+    def _packed_cube(self, state: CiphertextTensor) -> CiphertextTensor:
+        self._ops.squares += 2
+        self._ops.muls += 2
+        self._ops.relins += 4
+        return self.scheme.tensor_mul(
+            self.scheme.tensor_square(state, self.rlk), state, self.rlk
+        )
+
     # -- public API -----------------------------------------------------------------
 
     def transcipher_blocks(
@@ -330,12 +611,21 @@ class BatchedHheServer:
 
         self._ops = BfvOpCounts()
 
-        if self.eval_engine == "tensor":
+        group_size = None
+        if self.eval_engine == "bsgs" and len(block_counters) <= self._group_size:
+            out = self._evaluate_bsgs(ciphertext_blocks, nonce, block_counters)
+            group_size = self._group_size
+        elif self.eval_engine in ("tensor", "bsgs"):
+            # A batch beyond the packed capacity falls back to the slot
+            # layout (capacity n instead of n / 2t) for this call only.
             out = self._evaluate_tensor(ciphertext_blocks, nonce, block_counters)
         else:
             out = self._evaluate_scalar(ciphertext_blocks, nonce, block_counters)
         return BatchedTranscipherResult(
-            ciphertexts=out, counters=[int(c) for c in counters], ops=self._ops
+            ciphertexts=out,
+            counters=[int(c) for c in counters],
+            ops=self._ops,
+            group_size=group_size,
         )
 
     def _evaluate_scalar(
@@ -407,12 +697,64 @@ class BatchedHheServer:
             self.scheme.tensor_add_plain_rows(negated, prepared)
         )
 
+    def _evaluate_bsgs(
+        self,
+        ciphertext_blocks: Sequence[Sequence[int]],
+        nonce: int,
+        block_counters: Tuple[int, ...],
+    ) -> List[Ciphertext]:
+        """The packed circuit: ONE [L, R] ciphertext pair end to end.
+
+        Same PASTA permutation, BSGS affine layers; the result is a single
+        ciphertext whose slot groups hold the t message elements of every
+        block (``group_size`` on the result describes the layout).
+        """
+        params = self.params
+        t = params.t
+        B = self._group_size
+        half = self.scheme.params.n // 2
+        state = self._packed_key
+        for i in range(params.rounds):
+            state = self._bsgs_affine_pair(state, nonce, block_counters, i)
+            state = self._packed_mix(state)
+            state = (
+                self._packed_feistel(state)
+                if i < params.rounds - 1
+                else self._packed_cube(state)
+            )
+        state = self._bsgs_affine_pair(state, nonce, block_counters, params.rounds)
+        state = self._packed_mix(state)
+
+        # m = c - KS on the left side: one negate + one packed plain add.
+        negated = self.scheme.tensor_neg(state[0])
+        rows = np.zeros((1, half), dtype=np.int64)
+        grouped = rows.reshape(t, B)
+        for b, block in enumerate(ciphertext_blocks):
+            for j, c in enumerate(block):
+                grouped[j, b] = int(c) % params.p
+        self._ops.plain_adds += 1
+        prepared = self.scheme.prepare_add_rows(self._encode_logical_rows(rows))
+        return self.scheme.unstack_ciphertexts(
+            self.scheme.tensor_add_plain_rows(negated, prepared)
+        )
+
 
 def decrypt_batched_result(
     scheme: Bfv, sk, encoder: BatchEncoder, result: BatchedTranscipherResult
 ) -> List[List[int]]:
-    """Client side: decode slot b of every ciphertext into block b's message."""
+    """Client side: decode slot b of every ciphertext into block b's message.
+
+    Packed (BSGS) results carry one ciphertext with ``group_size`` set:
+    message element j of block b is read from logical slot
+    ``j * group_size + b`` of the generator-ordered slot row.
+    """
     n_blocks = len(result.counters)
+    if result.group_size:
+        B = result.group_size
+        (ct,) = result.ciphertexts
+        logical = slots_to_logical(encoder.n, encoder.decode(scheme.decrypt_poly(sk, ct)))
+        t = (encoder.n // 2) // B
+        return [[logical[j * B + b] for j in range(t)] for b in range(n_blocks)]
     per_element_slots = [
         encoder.decode(scheme.decrypt_poly(sk, ct))[:n_blocks] for ct in result.ciphertexts
     ]

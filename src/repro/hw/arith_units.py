@@ -50,6 +50,19 @@ def matgen_row_cycles(t: int) -> int:
     return t
 
 
+def rotate_stage_cycles(t: int) -> int:
+    """Rotate+KeySwitch macro-stage latency: ``MUL_LATENCY + t + log2 t``.
+
+    Extension beyond the paper's datapath: the BSGS homomorphic affine
+    (ROADMAP item 3) adds slot rotations as a first-class operation, the
+    way BASALISC treats automorphisms as pipeline ops. The automorphism
+    itself is wiring (an index permutation); the cost is the key switch —
+    modeled like one multiplier pass over the t-element row stream plus the
+    adder-tree fold of the digit products.
+    """
+    return MUL_LATENCY + t + adder_tree_depth(t)
+
+
 def feistel_cycles() -> int:
     """Feistel S-box: one (pipelined) multiplication batch + one addition."""
     return MUL_LATENCY + 1

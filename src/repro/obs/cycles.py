@@ -38,6 +38,8 @@ __all__ = [
     "modeled_cycle_attributes",
     "modeled_matmul_cycles",
     "modeled_matmul_attributes",
+    "modeled_rotation_cycles",
+    "modeled_rotation_attributes",
     "StageAttribution",
     "AttributionReport",
     "attribute",
@@ -112,6 +114,32 @@ def modeled_matmul_attributes(params, n_blocks: int) -> Dict[str, object]:
         "modeled_cycles_per_block": per_block,
         "modeled_blocks": n_blocks,
         "modeled_stage": "MatGen+MatMul",
+    }
+
+
+def modeled_rotation_cycles(params) -> int:
+    """Accelerator cycles for one Rotate+KeySwitch stage: ``3 + t + log2 t``.
+
+    The rotation stage of the BSGS homomorphic affine (an extension beyond
+    the paper's datapath — see :func:`repro.hw.arith_units.rotate_stage_cycles`).
+    """
+    from repro.hw.arith_units import rotate_stage_cycles
+
+    return rotate_stage_cycles(params.t)
+
+
+def modeled_rotation_attributes(params, n_rotations: int) -> Dict[str, object]:
+    """Span attributes for ``n_rotations`` Galois rotations (key switch each).
+
+    Attach to ``hhe.rotate`` spans nested inside the modeled
+    ``hhe.transcipher`` span, like :func:`modeled_matmul_attributes`.
+    """
+    per_rotation = modeled_rotation_cycles(params)
+    return {
+        CYCLES_ATTR: per_rotation * n_rotations,
+        "modeled_cycles_per_rotation": per_rotation,
+        "modeled_rotations": n_rotations,
+        "modeled_stage": "Rotate+KeySwitch",
     }
 
 

@@ -26,6 +26,7 @@ from repro.pasta.decrypt_circuit import (
     CircuitCost,
     KeystreamCircuit,
     PlainBackend,
+    bsgs_split,
     homomorphic_op_counts,
 )
 from repro.pasta.matgen import generate_matrix, iter_rows, next_row, streaming_mat_vec
@@ -73,6 +74,7 @@ __all__ = [
     "serialized_block_bytes",
     "unpack_elements",
     "generate_matrix",
+    "bsgs_split",
     "homomorphic_op_counts",
     "iter_rows",
     "next_row",

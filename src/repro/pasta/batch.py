@@ -31,6 +31,7 @@ asserts equality block-for-block and the benchmark records the speedup
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field as dataclass_field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -274,43 +275,57 @@ class KeystreamEngine:
         self._cache: "OrderedDict[Tuple[int, int], _CacheEntry]" = OrderedDict()
         self._hits = 0
         self._misses = 0
+        # Engines are shared per parameter set (get_engine) and the
+        # streaming service hits them from worker threads: every access to
+        # the OrderedDict or the hit/miss counters goes through this lock.
+        # ``OrderedDict.move_to_end`` + ``popitem`` are NOT atomic under
+        # concurrent mutation — unguarded interleavings corrupt the LRU
+        # order or raise KeyError mid-eviction. Derivation itself runs
+        # outside the lock (it is deterministic, so a duplicated miss is
+        # idempotent) to keep batched misses parallelizable.
+        self._lock = threading.Lock()
 
     # -- cache plumbing ------------------------------------------------------
 
     def cache_info(self) -> CacheInfo:
-        return CacheInfo(
-            hits=self._hits, misses=self._misses, size=len(self._cache), maxsize=self.cache_size
-        )
+        with self._lock:
+            return CacheInfo(
+                hits=self._hits, misses=self._misses, size=len(self._cache), maxsize=self.cache_size
+            )
 
     def clear_cache(self) -> None:
-        self._cache.clear()
-        self._hits = 0
-        self._misses = 0
+        with self._lock:
+            self._cache.clear()
+            self._hits = 0
+            self._misses = 0
 
     def _insert(self, nonce: int, counter: int, entry: _CacheEntry) -> None:
+        """Install one derived entry (takes the lock; don't call holding it)."""
         if self.cache_size == 0:
             return
         key = (nonce, counter)
-        self._cache[key] = entry
-        self._cache.move_to_end(key)
-        while len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
+        with self._lock:
+            self._cache[key] = entry
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
 
     def _entries_pairs(self, pairs: Sequence[Tuple[int, int]]) -> List[_CacheEntry]:
         """Cached entries for every (nonce, counter) pair, batch-deriving misses."""
         pairs = [(int(n), int(c)) for n, c in pairs]
         entries: Dict[Tuple[int, int], _CacheEntry] = {}
         missing: List[Tuple[int, int]] = []
-        for key in pairs:
-            cached = self._cache.get(key)
-            if cached is not None:
-                self._hits += 1
-                self._cache.move_to_end(key)
-                entries[key] = cached
-            elif key not in entries:
-                self._misses += 1
-                missing.append(key)
-                entries[key] = None  # type: ignore[assignment]
+        with self._lock:
+            for key in pairs:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._hits += 1
+                    self._cache.move_to_end(key)
+                    entries[key] = cached
+                elif key not in entries:
+                    self._misses += 1
+                    missing.append(key)
+                    entries[key] = None  # type: ignore[assignment]
         if missing:
             for materials in generate_block_materials_pairs(self.params, missing):
                 entry = _CacheEntry(materials=materials)
@@ -419,7 +434,8 @@ class KeystreamEngine:
             # (nonce, counter) pairs that will never be asked for again, so
             # skip per-block BlockMaterials assembly entirely and stay in
             # stacked array-land from XOF words to keystream rows.
-            self._misses += n_blocks
+            with self._lock:
+                self._misses += n_blocks
             layer_values, _, _ = _derive_layer_arrays(
                 params, [(int(no), int(co)) for no, co in pairs]
             )
@@ -487,18 +503,22 @@ class KeystreamEngine:
 
 
 _ENGINES: Dict[PastaParams, KeystreamEngine] = {}
+_ENGINES_LOCK = threading.Lock()
 
 
 def get_engine(params: PastaParams, cache_size: Optional[int] = None) -> KeystreamEngine:
     """The shared per-parameter-set engine (created on first use).
 
     ``cache_size`` only applies when the engine is first created; pass it
-    to :class:`KeystreamEngine` directly for a private instance.
+    to :class:`KeystreamEngine` directly for a private instance. Safe to
+    call from concurrent threads: a check-then-create race would otherwise
+    hand two callers *different* engines, splitting the shared cache.
     """
-    engine = _ENGINES.get(params)
-    if engine is None:
-        engine = KeystreamEngine(
-            params, DEFAULT_CACHE_BLOCKS if cache_size is None else cache_size
-        )
-        _ENGINES[params] = engine
-    return engine
+    with _ENGINES_LOCK:
+        engine = _ENGINES.get(params)
+        if engine is None:
+            engine = KeystreamEngine(
+                params, DEFAULT_CACHE_BLOCKS if cache_size is None else cache_size
+            )
+            _ENGINES[params] = engine
+        return engine

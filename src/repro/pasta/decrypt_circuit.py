@@ -89,13 +89,36 @@ class CircuitCost:
     ct_muls: int = 0
 
 
-def homomorphic_op_counts(params: PastaParams) -> dict:
+def bsgs_split(t: int) -> tuple:
+    """Baby-step/giant-step factorization ``(bs, giants)`` of a t-diagonal sum.
+
+    For the power-of-two t of every PASTA variant the split is exact
+    (``bs * giants == t``, no zero diagonals): ``bs = 2^ceil(log2(t)/2)``,
+    the balanced square-ish factor. Non-power-of-two t fall back to
+    ``bs = ceil(sqrt(t))`` with a padded last giant step.
+    """
+    if t < 1:
+        raise ParameterError(f"BSGS needs a positive dimension, got {t}")
+    if t & (t - 1) == 0:
+        k = t.bit_length() - 1
+        bs = 1 << ((k + 1) // 2)
+        return bs, t // bs
+    bs = int(t**0.5)
+    while bs * bs < t:
+        bs += 1
+    return bs, -(-t // bs)
+
+
+def homomorphic_op_counts(params: PastaParams, engine: str = "slots") -> dict:
     """Closed-form BFV op counts of one homomorphic PASTA evaluation.
 
-    One batched evaluation of ``m = c - Trunc(pi(K))`` over t-element
-    encrypted state (:class:`repro.hhe.batched.BatchedHheServer`), any batch
-    size. Derivation per component, with ``r = rounds`` and 2(r+1) affine
-    layer *sides* (l and r for rounds 0..r):
+    One batched evaluation of ``m = c - Trunc(pi(K))`` over encrypted state
+    (:class:`repro.hhe.batched.BatchedHheServer`), any batch size, for
+    either state layout:
+
+    ``engine="slots"`` — t ciphertexts per state (the scalar/tensor
+    evaluators), with ``r = rounds`` and 2(r+1) affine layer *sides* (l and
+    r for rounds 0..r):
 
     * affine side: t^2 plain muls, t(t-1) adds, t plain rc adds
     * mix (r+1 of them): 3t adds
@@ -104,19 +127,46 @@ def homomorphic_op_counts(params: PastaParams) -> dict:
     * cube (1, over 2t state): 2t squares, 2t muls, 2 relins per element
     * final ``c - KS``: t plain adds
 
-    The benchmark and the parity tests assert real runs (both evaluation
-    engines) hit these exactly.
+    ``engine="bsgs"`` — ONE packed ciphertext per state side (left/right),
+    t-element state across slot groups, affine layers by the
+    baby-step/giant-step diagonal method with ``(bs, G) = bsgs_split(t)``:
+
+    * affine side: bs*G (= t) diagonal plain muls, bs*G - 1 adds,
+      (bs-1) + (G-1) rotations (baby chain + Horner giant steps), 1 packed
+      rc plain add
+    * mix (r+1): 3 packed adds
+    * Feistel (r-1): 2 squares/relins, 1 rotation, 3 mask plain muls, 3 adds
+    * cube: 2 squares, 2 muls, 4 relins
+    * final ``c - KS``: 1 packed plain add
+
+    The O(t^2) -> O(t) plain-mul and O(sqrt t) rotation scaling per layer
+    side is the point of ROADMAP item 3. The benchmark and the parity tests
+    assert real runs hit these exactly.
     """
     t, r = params.t, params.rounds
     sides = 2 * (r + 1)
-    feistel = (r - 1) * (2 * t - 1)
+    if engine == "slots":
+        feistel = (r - 1) * (2 * t - 1)
+        return {
+            "plain_muls": sides * t * t,
+            "plain_adds": sides * t + t,
+            "adds": sides * t * (t - 1) + 3 * t * (r + 1) + feistel,
+            "squares": feistel + 2 * t,
+            "muls": 2 * t,
+            "relins": feistel + 2 * t + 2 * t,
+            "rotations": 0,
+        }
+    if engine != "bsgs":
+        raise ParameterError(f"unknown op-count engine {engine!r} ('slots' or 'bsgs')")
+    bs, giants = bsgs_split(t)
     return {
-        "plain_muls": sides * t * t,
-        "plain_adds": sides * t + t,
-        "adds": sides * t * (t - 1) + 3 * t * (r + 1) + feistel,
-        "squares": feistel + 2 * t,
-        "muls": 2 * t,
-        "relins": feistel + 2 * t + 2 * t,
+        "plain_muls": sides * bs * giants + 3 * (r - 1),
+        "plain_adds": sides + 1,
+        "adds": sides * (bs * giants - 1) + 3 * (r + 1) + 3 * (r - 1),
+        "squares": 2 * (r - 1) + 2,
+        "muls": 2,
+        "relins": 2 * (r - 1) + 4,
+        "rotations": sides * ((bs - 1) + (giants - 1)) + 2 * (r - 1),
     }
 
 

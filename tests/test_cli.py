@@ -67,15 +67,35 @@ class TestTraceCommand:
 
 
 class TestPerfgateCommand:
-    def test_perfgate_against_committed_baselines(self, capsys):
+    def test_perfgate_against_committed_baselines(self, tmp_path, capsys):
+        import shutil
         from pathlib import Path
 
-        bench_dir = Path(__file__).parent.parent / "benchmarks"
+        baselines = Path(__file__).parent.parent / "benchmarks" / "baselines"
+        # Stage a complete current dir (the baselines themselves): the gate
+        # now hard-fails on any missing current report, so the wiring check
+        # must present one report per committed baseline.
+        current = tmp_path / "current"
+        shutil.copytree(baselines, current)
         # Generous tolerance: this checks wiring, not runner speed.
-        rc = main(["perfgate", "--current", str(bench_dir),
-                   "--baseline", str(bench_dir / "baselines"),
+        rc = main(["perfgate", "--current", str(current),
+                   "--baseline", str(baselines),
                    "--tolerance", "1000"])
         assert rc == 0
         out = capsys.readouterr().out
         assert "pipeline_fps" in out
         assert "verdict" in out
+
+    def test_perfgate_fails_when_a_current_report_is_missing(self, tmp_path, capsys):
+        import shutil
+        from pathlib import Path
+
+        baselines = Path(__file__).parent.parent / "benchmarks" / "baselines"
+        current = tmp_path / "current"
+        shutil.copytree(baselines, current)
+        (current / "BENCH_service_pipeline.json").unlink()
+        rc = main(["perfgate", "--current", str(current),
+                   "--baseline", str(baselines),
+                   "--tolerance", "1000"])
+        assert rc == 1
+        assert "missing current report" in capsys.readouterr().out

@@ -213,6 +213,84 @@ class TestKeystreamEngine:
             assert [int(x) for x in ks[i]] == [int(x) for x in expected]
 
 
+class TestConcurrentAccess:
+    """The shared engine is hit from service worker threads concurrently.
+
+    Before the lock, interleaved ``move_to_end`` / ``popitem`` calls could
+    corrupt the LRU order, raise KeyError mid-eviction, or lose counter
+    increments. The regression: many barrier-started threads hammering
+    overlapping schedules must produce exact keystreams and consistent
+    cache accounting.
+    """
+
+    def test_concurrent_keystreams_are_exact(self):
+        import threading
+
+        key = random_key(PASTA_TOY, seed=b"threads")
+        cipher = Pasta(PASTA_TOY, key)
+        engine = KeystreamEngine(PASTA_TOY, cache_size=8)  # smaller than the
+        # working set, so eviction churns while other threads look up
+        n_threads = 8
+        schedules = [
+            [(7, (i + k) % 12) for k in range(6)] for i in range(n_threads)
+        ]
+        expected = {
+            pair: [int(x) for x in cipher.keystream_block(*pair)]
+            for sched in schedules for pair in sched
+        }
+        barrier = threading.Barrier(n_threads)
+        failures = []
+
+        def worker(sched):
+            barrier.wait()
+            try:
+                for _ in range(5):
+                    ks = engine.keystream_pairs(key, sched)
+                    for row, pair in zip(ks, sched):
+                        if [int(x) for x in row] != expected[pair]:
+                            failures.append((pair, [int(x) for x in row]))
+            except Exception as exc:  # KeyError from racing eviction, etc.
+                failures.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in schedules]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert not failures, failures[:3]
+
+        info = engine.cache_info()
+        total_lookups = sum(len(s) for s in schedules) * 5
+        assert info.hits + info.misses == total_lookups
+        assert 0 < info.size <= info.maxsize == 8
+
+    def test_concurrent_get_engine_returns_one_instance(self):
+        import threading
+
+        from repro.pasta.batch import _ENGINES
+        from repro.pasta.params import PastaParams
+
+        params = PASTA_TOY
+        fresh = PastaParams(
+            name="toy-threads", t=params.t, rounds=params.rounds, p=params.p, secure=False
+        )
+        _ENGINES.pop(fresh, None)
+        barrier = threading.Barrier(8)
+        seen = []
+
+        def worker():
+            barrier.wait()
+            seen.append(get_engine(fresh))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        _ENGINES.pop(fresh, None)
+        assert len(seen) == 8 and all(e is seen[0] for e in seen)
+
+
 class TestNonceReuseGuard:
     def test_reuse_raises(self, toy_key):
         cipher = Pasta(PASTA_TOY, toy_key)

@@ -51,6 +51,122 @@ class TestMetricDelta:
         assert not d.regressed(0.0)
 
 
+class TestInvalidMetrics:
+    """Bool and non-finite values must hard-fail, never silently pass.
+
+    ``isinstance(True, int)`` is True and every comparison against NaN is
+    False — both used to slide through the gate as "within tolerance".
+    """
+
+    def test_boolean_metric_is_a_failure(self):
+        current = {"pipeline_fps": True, "speedup": 4.0, "faulted": {"fps": 50.0}}
+        baseline = {"pipeline_fps": 100.0, "speedup": 4.0, "faulted": {"fps": 50.0}}
+        deltas = compare_reports("BENCH_service_pipeline.json", current, baseline)
+        by_metric = {d.metric: d for d in deltas}
+        assert by_metric["pipeline_fps"].error is not None
+        assert by_metric["pipeline_fps"].regressed(1e9)  # tolerance can't save it
+        assert not by_metric["pipeline_fps"].skipped
+        assert not by_metric["speedup"].regressed(0.0)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_metric_is_a_failure(self, bad):
+        current = {"pipeline_fps": bad, "speedup": 4.0, "faulted": {"fps": 50.0}}
+        baseline = {"pipeline_fps": 100.0, "speedup": 4.0, "faulted": {"fps": 50.0}}
+        deltas = compare_reports("BENCH_service_pipeline.json", current, baseline)
+        by_metric = {d.metric: d for d in deltas}
+        assert by_metric["pipeline_fps"].error is not None
+        assert by_metric["pipeline_fps"].regressed(1e9)
+
+    def test_non_finite_baseline_is_a_failure(self):
+        deltas = compare_reports(
+            "BENCH_service_pipeline.json",
+            {"pipeline_fps": 90.0},
+            {"pipeline_fps": float("nan")},
+        )
+        by_metric = {d.metric: d for d in deltas}
+        assert by_metric["pipeline_fps"].regressed(0.0)
+
+    def test_directly_constructed_nan_delta_regresses(self):
+        d = MetricDelta("b", "fps", "higher", baseline=100.0, current=float("nan"))
+        assert d.change is None
+        assert d.regressed(1e9)
+        assert not d.skipped
+
+    def test_invalid_metric_renders_fail(self):
+        deltas = compare_reports(
+            "BENCH_service_pipeline.json",
+            {"pipeline_fps": float("nan"), "speedup": True},
+            {"pipeline_fps": 100.0, "speedup": 4.0},
+        )
+        table = render_table(deltas, tolerance=0.25)
+        assert "FAIL (pipeline_fps is non-finite" in table
+        assert "FAIL (speedup is a boolean" in table
+
+    def test_main_exits_one_on_nan(self, tmp_path, capsys):
+        current, baseline = tmp_path / "current", tmp_path / "baseline"
+        write_bench(baseline, "BENCH_hom_affine.json",
+                    {"engines": {"tensor": {"blocks_per_s": 100.0}}, "speedup": 8.0})
+        (current / "x").parent.mkdir(parents=True, exist_ok=True)
+        (current / "BENCH_hom_affine.json").write_text(
+            '{"engines": {"tensor": {"blocks_per_s": NaN}}, "speedup": 8.0}'
+        )
+        rc = main(["--current", str(current), "--baseline", str(baseline)])
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().out
+
+
+class TestMissingCurrentReport:
+    """A benchmark that stops producing its report must FAIL, not skip.
+
+    The old behaviour skipped every metric when the current report went
+    missing — a broken benchmark job would pass CI forever.
+    """
+
+    def test_missing_current_with_baseline_fails(self, tmp_path):
+        current, baseline = tmp_path / "current", tmp_path / "baseline"
+        current.mkdir()
+        write_bench(baseline, "BENCH_service_pipeline.json",
+                    {"pipeline_fps": 100.0, "speedup": 4.0, "faulted": {"fps": 50.0}})
+        deltas = compare_dirs(current, baseline)
+        assert deltas
+        assert all(d.error == "missing current report" for d in deltas)
+        assert all(d.regressed(1e9) for d in deltas)
+        assert not any(d.skipped for d in deltas)
+
+    def test_corrupt_current_with_baseline_fails(self, tmp_path):
+        current, baseline = tmp_path / "current", tmp_path / "baseline"
+        current.mkdir()
+        (current / "BENCH_service_pipeline.json").write_text("{not json")
+        write_bench(baseline, "BENCH_service_pipeline.json", {"pipeline_fps": 100.0})
+        deltas = compare_dirs(current, baseline)
+        assert deltas and all(d.regressed(0.0) for d in deltas)
+
+    def test_missing_baseline_still_skips(self, tmp_path):
+        # A newly added benchmark with no committed baseline yet: skip.
+        current, baseline = tmp_path / "current", tmp_path / "baseline"
+        baseline.mkdir()
+        write_bench(current, "BENCH_service_pipeline.json",
+                    {"pipeline_fps": 100.0, "speedup": 4.0, "faulted": {"fps": 50.0}})
+        deltas = compare_dirs(current, baseline)
+        assert deltas and all(d.skipped and not d.regressed(0.0) for d in deltas)
+
+    def test_missing_current_renders_fail(self, tmp_path):
+        current, baseline = tmp_path / "current", tmp_path / "baseline"
+        current.mkdir()
+        write_bench(baseline, "BENCH_service_pipeline.json", {"pipeline_fps": 100.0})
+        table = render_table(compare_dirs(current, baseline), tolerance=0.25)
+        assert "FAIL (missing current report)" in table
+
+    def test_main_exits_one_when_current_report_vanishes(self, tmp_path, capsys):
+        current, baseline = tmp_path / "current", tmp_path / "baseline"
+        current.mkdir()
+        write_bench(baseline, "BENCH_hom_affine.json",
+                    {"engines": {"tensor": {"blocks_per_s": 100.0}}, "speedup": 8.0})
+        rc = main(["--current", str(current), "--baseline", str(baseline)])
+        assert rc == 1
+        assert "regressed" in capsys.readouterr().err
+
+
 class TestCompareReports:
     def test_extracts_dotted_paths(self):
         current = {"pipeline_fps": 90.0, "speedup": 4.0, "faulted": {"fps": 45.0}}
