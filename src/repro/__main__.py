@@ -7,6 +7,7 @@ Usage::
     python -m repro all                  # print everything
     python -m repro report [PATH]        # (re)write EXPERIMENTS.md
     python -m repro service [options]    # run the streaming pipeline demo
+    python -m repro multitenant [opts]   # sharded multi-tenant service demo
     python -m repro trace [options]      # traced pipeline run -> Perfetto JSON
     python -m repro perfgate [options]   # BENCH_*.json vs committed baselines
 
@@ -18,6 +19,19 @@ service options (all optional)::
     --corrupt-rate R  injected corruption probability (default 0.0)
     --mode M          symmetric | hhe (default symmetric)
     --json            emit the metrics snapshot as JSON instead of a summary
+
+multitenant options (all optional)::
+
+    --tenants N            distinct tenant key schedules (default 4)
+    --sessions-per-tenant N  concurrent sessions each (default 16)
+    --frames N             frames per session (default 4)
+    --shards N             worker shards (default 2)
+    --workers N            workers per shard (default 1)
+    --drop-rate R          injected uplink drop probability (default 0.0)
+    --hot-tenant           make tenant 0 offer 4x the sessions of the rest
+    --budget-rows N        global prepared/materials cache budget (default 4096)
+    --mode M               symmetric | hhe (default symmetric)
+    --json                 emit the full result as JSON
 
 trace options (all optional)::
 
@@ -103,6 +117,85 @@ def service_main(argv) -> int:
         if hist and hist["count"]:
             print(f"  {stage:<30} p50 {hist['p50'] * 1e3:7.2f} ms   "
                   f"p99 {hist['p99'] * 1e3:7.2f} ms")
+    return 0
+
+
+def multitenant_main(argv) -> int:
+    """Run the sharded multi-tenant service once and report per-tenant stats."""
+    import json
+
+    from repro.obs import MetricsRegistry
+    from repro.pasta.params import PASTA_MICRO, PASTA_TOY
+    from repro.service import FaultPlan, MultiTenantConfig, MultiTenantService, TenantSpec
+
+    opts = {"tenants": 4, "sessions-per-tenant": 16, "frames": 4, "shards": 2,
+            "workers": 1, "drop-rate": 0.0, "hot-tenant": False,
+            "budget-rows": 4096, "mode": "symmetric", "json": False}
+    it = iter(argv)
+    for arg in it:
+        name = arg.lstrip("-")
+        if name in ("json", "hot-tenant"):
+            opts[name] = True
+        elif name in ("tenants", "sessions-per-tenant", "frames", "shards",
+                      "workers", "budget-rows"):
+            opts[name] = int(next(it))
+        elif name == "drop-rate":
+            opts[name] = float(next(it))
+        elif name == "mode":
+            opts["mode"] = next(it)
+        else:
+            print(f"unknown multitenant option {arg!r}", file=sys.stderr)
+            return 2
+
+    hhe = opts["mode"] == "hhe"
+    specs = tuple(
+        TenantSpec(
+            f"tenant-{i:02d}",
+            sessions=opts["sessions-per-tenant"] * (4 if opts["hot-tenant"] and i == 0 else 1),
+            frames_per_session=opts["frames"],
+        )
+        for i in range(opts["tenants"])
+    )
+    config = MultiTenantConfig(
+        tenants=specs,
+        params=PASTA_MICRO if hhe else PASTA_TOY,
+        n_shards=opts["shards"],
+        workers_per_shard=opts["workers"],
+        mode=opts["mode"],
+        engine_cache_blocks=opts["budget-rows"],
+        prepared_cache_rows=opts["budget-rows"],
+    )
+    plan = FaultPlan(seed=1, drop_rate=opts["drop-rate"])
+    registry = MetricsRegistry()
+    result = MultiTenantService(config, plan, registry=registry).run()
+
+    if opts["json"]:
+        print(json.dumps({
+            "sessions_per_s": result.sessions_per_s,
+            "frames_per_s": result.frames_per_s,
+            "frames_recovered": result.frames_recovered,
+            "frames_lost": result.frames_lost,
+            "shed_frames": result.shed_frames,
+            "admission_deferred": result.admission_deferred,
+            "tenant_latency": result.tenant_latency,
+            "cache_budgets": result.cache_budgets,
+        }, indent=2))
+        return 0
+    print(f"multi-tenant service ({config.mode}, {config.params.name}, "
+          f"{len(specs)} tenants, {config.total_sessions} sessions, "
+          f"{config.n_shards} shards)")
+    print(f"  sessions completed {result.sessions_completed}/{config.total_sessions} "
+          f"({result.sessions_per_s:.1f}/s)")
+    print(f"  frames recovered   {result.frames_recovered}/{config.total_frames} "
+          f"({result.frames_per_s:.1f}/s), {result.frames_lost} lost")
+    print(f"  shed frames        {result.shed_frames}")
+    print(f"  sessions deferred  {result.admission_deferred}")
+    for tenant, summary in sorted(result.tenant_latency.items()):
+        print(f"  {tenant:<12} p50 {summary['p50'] * 1e3:7.2f} ms   "
+              f"p99 {summary['p99'] * 1e3:7.2f} ms   ({int(summary['count'])} frames)")
+    for name, snap in result.cache_budgets.items():
+        print(f"  budget {name:<16} {snap['total']:.0f}/{snap['capacity']:.0f} used, "
+              f"owners {snap['owners']}")
     return 0
 
 
@@ -194,6 +287,8 @@ def main(argv=None) -> int:
     command = argv[0]
     if command == "service":
         return service_main(argv[1:])
+    if command == "multitenant":
+        return multitenant_main(argv[1:])
     if command == "trace":
         return trace_main(argv[1:])
     if command == "perfgate":

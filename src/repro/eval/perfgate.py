@@ -72,6 +72,14 @@ GATED_METRICS: Dict[str, Tuple[Tuple[str, str], ...]] = {
     "BENCH_obs_overhead.json": (
         ("overhead_pct", "floor:overhead_floor_pct"),
     ),
+    "BENCH_multitenant.json": (
+        ("sessions_per_s", "higher"),
+        ("frames_per_s", "higher"),
+        # The fairness ratio is gated absolutely against the ceiling the
+        # report itself declares (2x solo p99): latency-ratio noise makes a
+        # relative gate flappy, but over the ceiling is a failure outright.
+        ("fairness.p99_ratio", "floor:fairness.ceiling"),
+    ),
 }
 
 

@@ -9,6 +9,7 @@ relinearization.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.fhe.bfv import Bfv, Ciphertext, RelinKey
@@ -26,6 +27,22 @@ class BfvOpCounts:
     muls: int = 0
     relins: int = 0
     rotations: int = 0  #: Galois automorphism + key switch (BSGS engine only)
+
+    def merge(self, other: "BfvOpCounts") -> "BfvOpCounts":
+        """Field-wise in-place accumulation of ``other``; returns ``self``.
+
+        Iterates :func:`dataclasses.fields` rather than a hand-listed
+        attribute tuple, so a counter field added later (the way
+        ``rotations`` was) can never be silently dropped from multi-block
+        totals again.
+        """
+        for f in dataclasses.fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def total(self) -> int:
+        """Sum of every counter field (fields-driven, like :meth:`merge`)."""
+        return sum(getattr(self, f.name) for f in dataclasses.fields(self))
 
 
 class BfvBackend(ArithmeticBackend[Ciphertext]):

@@ -39,12 +39,12 @@ Two evaluation engines share that circuit:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ParameterError
+from repro.utils.budget import BudgetedLru, CacheBudget
 from repro.fhe.batching import BatchEncoder
 from repro.fhe.bfv import Bfv, Ciphertext, GaloisKey, PublicKey, RelinKey
 from repro.fhe.engine import CiphertextTensor
@@ -57,6 +57,13 @@ from repro.hhe.backend import BfvOpCounts
 from repro.pasta.batch import get_engine
 from repro.pasta.decrypt_circuit import bsgs_split
 from repro.pasta.params import PastaParams
+
+#: Default prepared-plaintext budget, in slot rows (one encoded plaintext
+#: polynomial = one row; a tensor matrix costs t*t rows, a row stack t).
+#: Applied per server when no shared :class:`CacheBudget` is given — the
+#: multi-tenant service passes ONE budget to every tenant's server so the
+#: aggregate stays bounded however many tenants are live.
+DEFAULT_PREPARED_ROWS = 4096
 
 
 @dataclass
@@ -96,6 +103,8 @@ class BatchedHheServer:
         encrypted_key: Sequence[Ciphertext],
         engine: str = "auto",
         galois_keys: Optional[GaloisKey] = None,
+        tenant: str = "default",
+        prepared_budget: Optional[CacheBudget] = None,
     ):
         if scheme.params.p != params.p:
             raise ParameterError("BFV plaintext modulus must equal the PASTA prime")
@@ -155,25 +164,63 @@ class BatchedHheServer:
         #: the same stream twice never re-derives them.
         self.engine = get_engine(params)
 
-        # Prepared-plaintext LRUs keyed by the public schedule. The affine
+        # Prepared-plaintext caches keyed by the public schedule. The affine
         # constants depend only on (nonce, counters, layer, side, row[, col]),
         # so re-serving a schedule skips both the slot encode and — under the
         # RNS engine — the forward NTT of every matrix/round-constant
         # plaintext (the handle caches its eval form after first use).
-        @lru_cache(maxsize=8192)
+        #
+        # These used to be per-server ``lru_cache`` closures (maxsize
+        # 8192/4096 each): individually bounded, unbounded in aggregate once
+        # every tenant gets its own server. They are now :class:`BudgetedLru`
+        # instances costed in slot rows against ONE shared
+        # :class:`CacheBudget` — per-server by default, process-global when
+        # the multi-tenant front end passes its budget in — with eviction
+        # pressure applied to whichever tenant holds the most rows, so a hot
+        # tenant cannot push a cold one below its fair share.
+        self.tenant = tenant
+        t = params.t
+        self.prepared_budget = prepared_budget or CacheBudget(DEFAULT_PREPARED_ROWS)
+        self._caches: Dict[str, BudgetedLru] = {}
+
+        def _cache(kind: str, rows: float) -> BudgetedLru:
+            lru = BudgetedLru(
+                owner=tenant,
+                budget=self.prepared_budget,
+                cost_of=lambda key, value, rows=rows: rows,
+            )
+            self._caches[kind] = lru
+            return lru
+
+        matrix_cache = _cache("matrix", 1.0)
+        rc_cache = _cache("rc", 1.0)
+        matrix_tensor_cache = _cache("matrix_tensor", float(t * t))
+        rc_tensor_cache = _cache("rc_tensor", float(t))
+
         def _prepared_matrix(
             nonce: int, counters: Tuple[int, ...], layer: int, side: str, j: int, k: int
         ):
-            per_slot = [int(self.engine.matrix(nonce, c, layer, side)[j, k]) for c in counters]
-            return self.scheme.prepare_mul_plain(self.encoder.encode(per_slot))
+            def build():
+                per_slot = [
+                    int(self.engine.matrix(nonce, c, layer, side)[j, k]) for c in counters
+                ]
+                return self.scheme.prepare_mul_plain(self.encoder.encode(per_slot))
 
-        @lru_cache(maxsize=4096)
+            return matrix_cache.get_or_create((nonce, counters, layer, side, j, k), build)
+
         def _prepared_rc(nonce: int, counters: Tuple[int, ...], layer: int, side: str, j: int):
-            per_slot = [
-                int(getattr(self.engine.materials(nonce, [c])[0].layers[layer], f"rc_{side}")[j])
-                for c in counters
-            ]
-            return self.scheme.prepare_add_plain(self.encoder.encode(per_slot))
+            def build():
+                per_slot = [
+                    int(
+                        getattr(
+                            self.engine.materials(nonce, [c])[0].layers[layer], f"rc_{side}"
+                        )[j]
+                    )
+                    for c in counters
+                ]
+                return self.scheme.prepare_add_plain(self.encoder.encode(per_slot))
+
+            return rc_cache.get_or_create((nonce, counters, layer, side, j), build)
 
         self._prepared_matrix = _prepared_matrix
         self._prepared_rc = _prepared_rc
@@ -182,36 +229,45 @@ class BatchedHheServer:
         # residue tensor per (nonce, counters, layer, side) — the whole
         # affine matrix encodes with ONE batched slot-NTT (t^2 rows) and
         # forward-transforms with one batched residue NTT, vs t^2 scalar
-        # handles. Entries are ~t^2 larger than scalar handles, so the LRU
-        # is correspondingly shallower.
-        @lru_cache(maxsize=64)
+        # handles. Entries cost t^2 budget rows apiece, so the shared budget
+        # keeps them correspondingly scarcer than scalar handles.
         def _prepared_matrix_tensor(
             nonce: int, counters: Tuple[int, ...], layer: int, side: str
         ):
-            t = self.params.t
-            mats = np.stack(
-                [np.asarray(self.engine.matrix(nonce, c, layer, side)) for c in counters],
-                axis=-1,
-            )  # (t, t, B): slot b carries block b's matrix entry
-            encoded = self.encoder.encode_rows(mats.reshape(t * t, len(counters)))
-            return self.scheme.prepare_matrix(encoded.reshape(t, t, self.encoder.n))
+            def build():
+                mats = np.stack(
+                    [np.asarray(self.engine.matrix(nonce, c, layer, side)) for c in counters],
+                    axis=-1,
+                )  # (t, t, B): slot b carries block b's matrix entry
+                encoded = self.encoder.encode_rows(mats.reshape(t * t, len(counters)))
+                return self.scheme.prepare_matrix(encoded.reshape(t, t, self.encoder.n))
 
-        @lru_cache(maxsize=256)
+            return matrix_tensor_cache.get_or_create((nonce, counters, layer, side), build)
+
         def _prepared_rc_tensor(
             nonce: int, counters: Tuple[int, ...], layer: int, side: str
         ):
-            materials = self.engine.materials(nonce, list(counters))
-            rows = np.stack(
-                [np.asarray(getattr(m.layers[layer], f"rc_{side}")) for m in materials],
-                axis=-1,
-            )  # (t, B)
-            return self.scheme.prepare_add_rows(self.encoder.encode_rows(rows))
+            def build():
+                materials = self.engine.materials(nonce, list(counters))
+                rows = np.stack(
+                    [np.asarray(getattr(m.layers[layer], f"rc_{side}")) for m in materials],
+                    axis=-1,
+                )  # (t, B)
+                return self.scheme.prepare_add_rows(self.encoder.encode_rows(rows))
+
+            return rc_tensor_cache.get_or_create((nonce, counters, layer, side), build)
 
         self._prepared_matrix_tensor = _prepared_matrix_tensor
         self._prepared_rc_tensor = _prepared_rc_tensor
 
         if engine == "bsgs":
             self._init_bsgs()
+
+    def prepared_cache_info(self) -> Dict[str, Dict[str, float]]:
+        """Per-cache hit/miss/size/cost plus the shared budget snapshot."""
+        info = {kind: lru.cache_info() for kind, lru in self._caches.items()}
+        info["budget"] = dict(self.prepared_budget.snapshot())
+        return info
 
     # -- packed BSGS layout --------------------------------------------------------
 
@@ -284,45 +340,63 @@ class BatchedHheServer:
         # Prepared diagonal stacks per (schedule, layer, side): the G*bs
         # generalized diagonals of the blocked affine matrix, pre-rotated
         # for the giant-step Horner form, as ONE (G, bs, L, N) prepared
-        # matmul tensor. The LRU plays the role the per-(j, k) handle cache
-        # plays for the slot engines.
-        @lru_cache(maxsize=64)
+        # matmul tensor. The budgeted cache plays the role the per-(j, k)
+        # handle cache plays for the slot engines.
+        bs_, giants_ = self._bsgs
+        diags_cache = BudgetedLru(
+            owner=self.tenant,
+            budget=self.prepared_budget,
+            cost_of=lambda key, value, rows=float(bs_ * giants_): rows,
+        )
+        self._caches["diags_bsgs"] = diags_cache
+        rc_bsgs_cache = BudgetedLru(
+            owner=self.tenant,
+            budget=self.prepared_budget,
+            cost_of=lambda key, value: 2.0,
+        )
+        self._caches["rc_bsgs"] = rc_bsgs_cache
+
         def _prepared_diags_bsgs(
             nonce: int, counters: Tuple[int, ...], layer: int, side: str
         ):
-            bs, giants = self._bsgs
-            n_blocks = len(counters)
-            mats = np.stack(
-                [np.asarray(self.engine.matrix(nonce, c, layer, side)) for c in counters]
-            )  # (n_blocks, t, t)
-            rows = np.zeros((giants * bs, half), dtype=mats.dtype)
-            j = np.arange(t)
-            for d in range(min(giants * bs, t)):
-                ld = np.zeros((t, B), dtype=mats.dtype)
-                ld[:, :n_blocks] = mats[:, j, (j + d) % t].T  # ld[j, b] = M_b[j, j+d]
-                rows[d] = np.roll(ld.reshape(half), (d // bs) * bs * B)
-            encoded = self._encode_logical_rows(rows)
-            return self.scheme.prepare_matrix(
-                encoded.reshape(giants, bs, self.scheme.params.n)
-            )
-
-        @lru_cache(maxsize=256)
-        def _prepared_rc_bsgs(nonce: int, counters: Tuple[int, ...], layer: int):
-            materials = self.engine.materials(nonce, list(counters))
-            n_blocks = len(counters)
-            vals = {
-                side: np.stack(
-                    [np.asarray(getattr(m.layers[layer], f"rc_{side}")) for m in materials],
-                    axis=-1,
+            def build():
+                bs, giants = self._bsgs
+                n_blocks = len(counters)
+                mats = np.stack(
+                    [np.asarray(self.engine.matrix(nonce, c, layer, side)) for c in counters]
+                )  # (n_blocks, t, t)
+                rows = np.zeros((giants * bs, half), dtype=mats.dtype)
+                j = np.arange(t)
+                for d in range(min(giants * bs, t)):
+                    ld = np.zeros((t, B), dtype=mats.dtype)
+                    ld[:, :n_blocks] = mats[:, j, (j + d) % t].T  # ld[j, b] = M_b[j, j+d]
+                    rows[d] = np.roll(ld.reshape(half), (d // bs) * bs * B)
+                encoded = self._encode_logical_rows(rows)
+                return self.scheme.prepare_matrix(
+                    encoded.reshape(giants, bs, self.scheme.params.n)
                 )
-                for side in ("l", "r")
-            }  # (t, n_blocks) each
-            rows = np.zeros((2, half), dtype=vals["l"].dtype)
-            for s_idx, side in enumerate(("l", "r")):
-                ld = np.zeros((t, B), dtype=vals[side].dtype)
-                ld[:, :n_blocks] = vals[side]
-                rows[s_idx] = ld.reshape(half)
-            return self.scheme.prepare_add_rows(self._encode_logical_rows(rows))
+
+            return diags_cache.get_or_create((nonce, counters, layer, side), build)
+
+        def _prepared_rc_bsgs(nonce: int, counters: Tuple[int, ...], layer: int):
+            def build():
+                materials = self.engine.materials(nonce, list(counters))
+                n_blocks = len(counters)
+                vals = {
+                    side: np.stack(
+                        [np.asarray(getattr(m.layers[layer], f"rc_{side}")) for m in materials],
+                        axis=-1,
+                    )
+                    for side in ("l", "r")
+                }  # (t, n_blocks) each
+                rows = np.zeros((2, half), dtype=vals["l"].dtype)
+                for s_idx, side in enumerate(("l", "r")):
+                    ld = np.zeros((t, B), dtype=vals[side].dtype)
+                    ld[:, :n_blocks] = vals[side]
+                    rows[s_idx] = ld.reshape(half)
+                return self.scheme.prepare_add_rows(self._encode_logical_rows(rows))
+
+            return rc_bsgs_cache.get_or_create((nonce, counters, layer), build)
 
         self._prepared_diags_bsgs = _prepared_diags_bsgs
         self._prepared_rc_bsgs = _prepared_rc_bsgs

@@ -125,6 +125,8 @@ class HheServer:
             block = list(ciphertext[start : start + t])
             result = self.transcipher_block(block, nonce, counter)
             all_cts.extend(result.ciphertexts)
-            for attr in ("adds", "plain_adds", "plain_muls", "squares", "muls", "relins"):
-                setattr(total, attr, getattr(total, attr) + getattr(result.ops, attr))
+            # Fields-driven: a hand-listed attribute tuple here silently
+            # dropped `rotations` when it was added; merge() cannot skip a
+            # counter field.
+            total.merge(result.ops)
         return TranscipherResult(ciphertexts=all_cts, ops=total)

@@ -297,6 +297,17 @@ class MetricsRegistry:
         with self._lock:
             return sorted(self._metrics)
 
+    def collect(self, name: str) -> List[object]:
+        """Every metric instance with base name ``name``, across label sets.
+
+        The per-tenant consumers (multi-tenant service, fairness bench)
+        enumerate e.g. all ``service.tenant.frame_latency.seconds{tenant=x}``
+        children without knowing the tenant ids up front.
+        """
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return [m for m in metrics if getattr(m, "name", None) == name]
+
     def items(self) -> List[Tuple[str, object]]:
         """(key, metric) pairs, sorted by key — exporter raw access."""
         with self._lock:

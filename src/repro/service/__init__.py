@@ -1,7 +1,10 @@
 """Streaming transciphering service: pipelined HHE with faults and retries.
 
-See :mod:`repro.service.pipeline` for the architecture overview and
-:mod:`repro.service.faults` for the deterministic uplink fault model.
+See :mod:`repro.service.pipeline` for the single-tenant architecture
+overview, :mod:`repro.service.faults` for the deterministic uplink fault
+model, and :mod:`repro.service.tenants` for the multi-tenant sharded
+front end (sessions, shard routing, admission control, load shedding,
+global cache budgets).
 """
 
 from repro.service.faults import (
@@ -21,25 +24,45 @@ from repro.service.pipeline import (
     StreamingPipeline,
     SymmetricRecovery,
     WireFrame,
+    backoff_jitter_fraction,
     pack_frames,
     unpack_frames,
 )
+from repro.service.tenants import (
+    AdmissionController,
+    MultiTenantConfig,
+    MultiTenantResult,
+    MultiTenantService,
+    ShardRouter,
+    TenantRuntime,
+    TenantSpec,
+    derive_tenant_key,
+)
 
 __all__ = [
+    "AdmissionController",
     "FaultAction",
     "FaultPlan",
     "HheRecovery",
+    "MultiTenantConfig",
+    "MultiTenantResult",
+    "MultiTenantService",
     "NO_FAULTS",
     "PipelineResult",
     "RecoveredFrame",
     "ServiceConfig",
+    "ShardRouter",
     "StreamingPipeline",
     "SymmetricRecovery",
     "TILE16",
     "TILE8",
+    "TenantRuntime",
+    "TenantSpec",
     "WireFrame",
+    "backoff_jitter_fraction",
     "checksum",
     "corrupt_payload",
+    "derive_tenant_key",
     "pack_frames",
     "unpack_frames",
 ]

@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import heapq
 import queue
+import struct
 import threading
 import time
 from dataclasses import dataclass, field
@@ -84,6 +85,7 @@ __all__ = [
     "SymmetricRecovery",
     "HheRecovery",
     "StreamingPipeline",
+    "backoff_jitter_fraction",
     "pack_frames",
     "unpack_frames",
 ]
@@ -96,6 +98,25 @@ TILE8 = Resolution("TILE8", 8, 8)
 #: Key-derivation domain for the service's PASTA key (kept distinct from
 #: the HHE protocol's client domains; see repro.hhe.protocol).
 SERVICE_KEY_DOMAIN = b"service-v1-pasta-key|"
+
+#: Domain for the deterministic backoff jitter draw (SHAKE over
+#: ``(frame_id, attempt)``), so retry schedules reproduce run to run.
+BACKOFF_JITTER_DOMAIN = b"service-v1-backoff|"
+
+
+def backoff_jitter_fraction(frame_id: int, attempt: int) -> float:
+    """Deterministic uniform draw in [0, 1) for one retry's jitter.
+
+    A pure function of ``(frame_id, attempt)`` — like the fault plan's
+    verdicts — so co-dropped frames spread out while the schedule stays
+    bit-reproducible across runs and thread interleavings.
+    """
+    from repro.keccak.shake import shake128
+
+    digest = shake128(
+        BACKOFF_JITTER_DOMAIN + struct.pack(">QQ", frame_id, attempt)
+    ).read(8)
+    return int.from_bytes(digest, "big") / 2**64
 
 
 # -- vectorized pixel packing ----------------------------------------------------
@@ -145,6 +166,11 @@ class WireFrame:
     #: trace context of the producing encrypt span; carried through the
     #: uplink queue so worker-side spans join the producer's trace.
     trace: Optional[SpanContext] = None
+    #: Multi-tenant identity (repro.service.tenants): which tenant's key
+    #: encrypted this payload, and which of its sessions sent it. ``None``
+    #: for the single-tenant StreamingPipeline.
+    tenant: Optional[str] = None
+    session: Optional[int] = None
 
 
 @dataclass
@@ -197,6 +223,12 @@ class ServiceConfig:
     max_retries: int = 8  #: transmissions beyond the first before aborting
     backoff_base_seconds: float = 0.002
     backoff_max_seconds: float = 0.05
+    #: Jitter width as a fraction of the exponential delay: the actual
+    #: backoff is ``base * (1 + jitter * u)`` with ``u`` a deterministic
+    #: per-(frame, attempt) uniform draw. 0 disables jitter — and brings
+    #: back the thundering herd: every frame dropped in one batch would
+    #: retry at the identical instant against the uplink queue.
+    backoff_jitter: float = 0.5
     saturation_put_timeout: float = 0.05  #: stalled put => saturation episode
     degradation_ladder: Tuple[Resolution, ...] = ()  #: fallbacks, highest first
     mode: str = "symmetric"  #: "symmetric" (shared key) or "hhe" (BFV transcipher)
@@ -213,6 +245,10 @@ class ServiceConfig:
             raise ParameterError("queue_capacity must be >= 1")
         if self.max_retries < 0:
             raise ParameterError("max_retries must be >= 0")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ParameterError(
+                f"backoff_jitter must be in [0, 1], got {self.backoff_jitter}"
+            )
 
 
 # -- recovery backends -----------------------------------------------------------
@@ -266,6 +302,8 @@ class HheRecovery:
         fhe_seed: bytes,
         n: int = 256,
         log2_q: int = 230,
+        tenant: str = "default",
+        prepared_budget: Optional["CacheBudget"] = None,
     ):
         from repro.fhe import Bfv, toy_parameters
         from repro.fhe.batching import BatchEncoder
@@ -281,7 +319,15 @@ class HheRecovery:
         self.sk, pk, rlk = self.scheme.keygen()
         self.encoder = BatchEncoder(bfv.n, params.p)
         encrypted_key = encrypt_key_batched(self.scheme, pk, self.encoder, [int(k) for k in key])
-        self.server = BatchedHheServer(params, self.scheme, rlk, self.encoder, encrypted_key)
+        self.server = BatchedHheServer(
+            params,
+            self.scheme,
+            rlk,
+            self.encoder,
+            encrypted_key,
+            tenant=tenant,
+            prepared_budget=prepared_budget,
+        )
         self._decrypt = decrypt_batched_result
 
     def recover_batch(self, frames: Sequence[Tuple[WireFrame, np.ndarray]]) -> List[np.ndarray]:
@@ -353,14 +399,26 @@ class StreamingPipeline:
 
     # -- shared helpers ----------------------------------------------------------
 
-    def _backoff(self, attempt: int) -> float:
-        """Bounded exponential backoff before transmission ``attempt``."""
+    def _backoff(self, frame_id: int, attempt: int) -> float:
+        """Bounded exponential backoff, jittered per ``(frame_id, attempt)``.
+
+        The exponential delay alone is deterministic *and identical* for
+        every frame on the same attempt number, so a batch of co-dropped
+        frames used to retry at the same instant — a synchronized storm
+        against the uplink queue. The SHAKE-seeded jitter keys on the frame
+        id, spreading co-dropped frames apart, while staying a pure
+        function of ``(frame_id, attempt)`` so runs remain reproducible.
+        """
         if attempt <= 0:
             return 0.0
-        return min(
+        base = min(
             self.config.backoff_base_seconds * (2 ** (attempt - 1)),
             self.config.backoff_max_seconds,
         )
+        jitter = self.config.backoff_jitter
+        if jitter <= 0.0:
+            return base
+        return base * (1.0 + jitter * backoff_jitter_fraction(frame_id, attempt))
 
     def _fail(self, exc: BaseException) -> None:
         with self._lock:
@@ -572,7 +630,7 @@ class StreamingPipeline:
 
     def _schedule_retry(self, wire: WireFrame, earliest: float) -> None:
         self.obs.counter("service.retries").inc()
-        ready = earliest + self._backoff(wire.attempt + 1)
+        ready = earliest + self._backoff(wire.frame_id, wire.attempt + 1)
         self._retry_q.put((ready, wire.frame_id, wire.attempt + 1))
 
     def _downshift(self) -> None:

@@ -1,4 +1,4 @@
-"""Shared low-level helpers: bit manipulation, table rendering, RNG seeding."""
+"""Shared low-level helpers: bit manipulation, tables, cache budgeting."""
 
 from repro.utils.bits import (
     bit_length_mask,
@@ -6,9 +6,12 @@ from repro.utils.bits import (
     rotl64,
     words_to_bytes_le,
 )
+from repro.utils.budget import BudgetedLru, CacheBudget
 from repro.utils.tables import format_table
 
 __all__ = [
+    "BudgetedLru",
+    "CacheBudget",
     "bit_length_mask",
     "bytes_to_words_le",
     "format_table",

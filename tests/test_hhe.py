@@ -116,3 +116,65 @@ class TestKeySeparation:
     def test_bfv_params_default_is_derived(self):
         client = HheClient(PASTA_MICRO, seed=b"defaults")
         assert client.bfv_params.p == PASTA_MICRO.p
+
+
+class TestOpCountAccumulation:
+    """Multi-block transcipher totals must cover EVERY counter field.
+
+    The original accumulation hand-listed attribute names and silently
+    dropped ``rotations`` when that field was added. ``merge`` iterates
+    ``dataclasses.fields``, so these tests fail loudly if a future counter
+    is ever skipped again.
+    """
+
+    def test_merge_covers_every_field(self):
+        import dataclasses
+
+        from repro.hhe.backend import BfvOpCounts
+
+        ones = BfvOpCounts(**{f.name: 1 for f in dataclasses.fields(BfvOpCounts)})
+        total = BfvOpCounts()
+        total.merge(ones).merge(ones)
+        for f in dataclasses.fields(BfvOpCounts):
+            assert getattr(total, f.name) == 2, f"field {f.name} dropped by merge"
+        assert total.total() == 2 * len(dataclasses.fields(BfvOpCounts))
+
+    def test_transcipher_totals_include_rotations(self, client, server, monkeypatch):
+        """A rotation counted per block must survive into the stream total."""
+        import dataclasses
+
+        from repro.hhe.backend import BfvOpCounts
+        from repro.hhe.protocol import TranscipherResult
+
+        per_block = BfvOpCounts(**{f.name: 1 for f in dataclasses.fields(BfvOpCounts)})
+        per_block.rotations = 5
+
+        def fake_block(block, nonce, counter):
+            return TranscipherResult(ciphertexts=[], ops=dataclasses.replace(per_block))
+
+        monkeypatch.setattr(server, "transcipher_block", fake_block)
+        result = server.transcipher(list(range(2 * PASTA_MICRO.t)), nonce=1)
+        assert result.ops.rotations == 10, (
+            "rotations dropped from the multi-block total (the pre-fix bug)"
+        )
+        for f in dataclasses.fields(BfvOpCounts):
+            if f.name != "rotations":
+                assert getattr(result.ops, f.name) == 2, f"field {f.name} not accumulated"
+
+    def test_real_two_block_totals_are_fieldwise_sums(self, client, server):
+        """End to end: the stream total equals the sum of per-block counts."""
+        import dataclasses
+
+        from repro.hhe.backend import BfvOpCounts
+
+        message = list(range(2 * PASTA_MICRO.t))
+        ciphertext = client.encrypt(message, nonce=931)
+        block_ops = [
+            server.transcipher_block(
+                list(ciphertext[start : start + PASTA_MICRO.t]), 931, counter
+            ).ops
+            for counter, start in enumerate(range(0, len(ciphertext), PASTA_MICRO.t))
+        ]
+        total = server.transcipher(ciphertext, nonce=931).ops
+        for f in dataclasses.fields(BfvOpCounts):
+            assert getattr(total, f.name) == sum(getattr(ops, f.name) for ops in block_ops)

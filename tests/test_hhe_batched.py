@@ -265,3 +265,74 @@ class TestTensorScalarParity:
             for b in range(n_blocks)
         ]
         self._assert_parity(MICRO_33, servers_33, messages, nonce, counters)
+
+
+class TestPreparedPlaintextBudget:
+    """Per-tenant servers share ONE prepared-plaintext budget, fairly.
+
+    The pre-budget servers hid unbounded ``lru_cache`` closures (maxsize
+    8192/4096) — per-server bounds that multiply with the tenant count.
+    Here two tenants' servers draw from a single :class:`CacheBudget`; a
+    hot tenant flooding it must evict its own rows, never a quiet tenant
+    sitting at or below its fair share.
+    """
+
+    def _server(self, ctx, key, tenant, budget):
+        scheme, _, pk, rlk, encoder = ctx
+        encrypted_key = encrypt_key_batched(scheme, pk, encoder, [int(k) for k in key])
+        return BatchedHheServer(
+            PASTA_MICRO, scheme, rlk, encoder, encrypted_key,
+            tenant=tenant, prepared_budget=budget,
+        )
+
+    def test_hot_tenant_cannot_evict_quiet_fair_share(self, ctx):
+        from repro.utils.budget import CacheBudget
+
+        key_q = random_key(PASTA_MICRO, b"budget-quiet")
+        key_h = random_key(PASTA_MICRO, b"budget-hot")
+
+        # Measure one block's prepared cost on a throwaway budget first.
+        probe = CacheBudget(100_000)
+        probing = self._server(ctx, key_q, "probe", probe)
+        cipher = Pasta(PASTA_MICRO, key_q)
+        block_q = [int(v) for v in cipher.encrypt(list(range(PASTA_MICRO.t)), nonce=1)]
+        probing.transcipher_blocks([block_q], nonce=1, counters=[0])
+        cost_per_block = probe.usage("probe")
+        assert cost_per_block > 0
+
+        # Real budget: room for exactly two blocks' rows, two owners — one
+        # cached block each is precisely the fair share.
+        budget = CacheBudget(2 * cost_per_block)
+        quiet = self._server(ctx, key_q, "quiet", budget)
+        hot = self._server(ctx, key_h, "hot", budget)
+
+        quiet.transcipher_blocks([block_q], nonce=1, counters=[0])
+        assert budget.usage("quiet") == cost_per_block
+
+        hot_cipher = Pasta(PASTA_MICRO, key_h)
+        for nonce in range(10, 16):  # 6 distinct blocks >> capacity
+            block_h = [
+                int(v) for v in hot_cipher.encrypt(list(range(PASTA_MICRO.t)), nonce=nonce)
+            ]
+            hot.transcipher_blocks([block_h], nonce=nonce, counters=[0])
+
+        assert budget.total <= budget.capacity, "global prepared budget exceeded"
+        assert budget.usage("quiet") == cost_per_block, (
+            "hot tenant evicted the quiet tenant's fair-share rows"
+        )
+        assert budget.evictions("quiet") == 0
+        assert budget.evictions("hot") > 0
+
+    def test_prepared_cache_info_reports_budget(self, ctx):
+        from repro.utils.budget import CacheBudget
+
+        budget = CacheBudget(500)
+        key = random_key(PASTA_MICRO, b"budget-info")
+        server = self._server(ctx, key, "solo", budget)
+        cipher = Pasta(PASTA_MICRO, key)
+        block = [int(v) for v in cipher.encrypt(list(range(PASTA_MICRO.t)), nonce=2)]
+        server.transcipher_blocks([block], nonce=2, counters=[0])
+        info = server.prepared_cache_info()
+        assert info["budget"]["capacity"] == 500
+        assert info["budget"]["owners"]["solo"] > 0
+        assert sum(c["misses"] for k, c in info.items() if k != "budget") > 0

@@ -319,3 +319,72 @@ class TestConfigValidation:
             ServiceConfig(n_workers=0)
         with pytest.raises(ParameterError):
             ServiceConfig(queue_capacity=0)
+
+
+class TestBackoffJitter:
+    """The retry-storm fix: deterministic SHAKE jitter on the backoff.
+
+    Without jitter, every frame dropped in one batch retried at the
+    identical instant (the exponential delay depends only on the attempt
+    number) — a synchronized storm against the uplink queue. The jitter
+    must spread co-dropped frames apart while staying a pure function of
+    ``(frame_id, attempt)`` so runs remain reproducible.
+    """
+
+    def _pipeline(self, **overrides):
+        defaults = dict(n_frames=4, backoff_base_seconds=0.004, backoff_max_seconds=0.04)
+        defaults.update(overrides)
+        return StreamingPipeline(ServiceConfig(**defaults))
+
+    def test_co_dropped_frames_get_distinct_ready_times(self):
+        # Frames dropped in the same batch share the attempt number; the
+        # frame-id keyed jitter must still separate their retry instants.
+        pipeline = self._pipeline()
+        delays = [pipeline._backoff(frame_id, attempt=1) for frame_id in range(16)]
+        assert len(set(delays)) == len(delays), "thundering herd: identical retry delays"
+        base = pipeline.config.backoff_base_seconds
+        jitter = pipeline.config.backoff_jitter
+        for delay in delays:
+            assert base <= delay <= base * (1.0 + jitter)
+
+    def test_jitter_is_reproducible_across_pipelines(self):
+        first = self._pipeline()
+        second = self._pipeline()
+        pairs = [(fid, a) for fid in range(8) for a in range(1, 4)]
+        assert [first._backoff(f, a) for f, a in pairs] == [
+            second._backoff(f, a) for f, a in pairs
+        ]
+
+    def test_zero_jitter_restores_pure_exponential(self):
+        pipeline = self._pipeline(backoff_jitter=0.0)
+        assert pipeline._backoff(0, 1) == pipeline._backoff(1, 1)
+        assert pipeline._backoff(5, 1) == pipeline.config.backoff_base_seconds
+
+    def test_backoff_still_bounded_with_jitter(self):
+        pipeline = self._pipeline()
+        cap = pipeline.config.backoff_max_seconds
+        jitter = pipeline.config.backoff_jitter
+        for attempt in range(1, 12):
+            assert pipeline._backoff(3, attempt) <= cap * (1.0 + jitter)
+
+    def test_jitter_fraction_uniform_range(self):
+        from repro.service import backoff_jitter_fraction
+
+        draws = [backoff_jitter_fraction(fid, 1) for fid in range(256)]
+        assert all(0.0 <= u < 1.0 for u in draws)
+        assert len(set(draws)) == len(draws)
+        # Deterministic: the same (frame, attempt) always draws the same u.
+        assert draws == [backoff_jitter_fraction(fid, 1) for fid in range(256)]
+
+    def test_invalid_jitter_rejected(self):
+        with pytest.raises(ParameterError):
+            ServiceConfig(backoff_jitter=1.5)
+        with pytest.raises(ParameterError):
+            ServiceConfig(backoff_jitter=-0.1)
+
+    def test_faulted_run_still_bit_exact_with_jitter(self):
+        plan = FaultPlan(seed=9, drop_rate=0.2)
+        result = run_pipeline(plan, n_frames=16)
+        assert len(result.frames) == 16
+        for frame in result.frames:
+            assert frame.pixels == expected_pixels(frame)

@@ -86,3 +86,93 @@ class TestFormatTable:
 
     def test_int_thousands_separator(self):
         assert "65,468" in format_table(["x"], [[65468]])
+
+
+class TestCacheBudget:
+    def _budget(self, capacity=4.0):
+        from repro.utils.budget import CacheBudget
+
+        return CacheBudget(capacity)
+
+    def test_charge_release_accounting(self):
+        budget = self._budget()
+        budget.register("a", lambda: 0.0)
+        budget.charge("a", 3.0)
+        assert budget.usage("a") == 3.0
+        budget.release("a", 1.0)
+        assert budget.usage("a") == 2.0
+        budget.release("a", 100.0)  # floors at zero
+        assert budget.usage("a") == 0.0
+
+    def test_rebalance_evicts_from_largest_owner(self):
+        from repro.utils.budget import BudgetedLru
+
+        budget = self._budget(3.0)
+        small = BudgetedLru("small", budget)
+        big = BudgetedLru("big", budget)
+        small.get_or_create("s1", lambda: 1)
+        big.get_or_create("b1", lambda: 1)
+        big.get_or_create("b2", lambda: 1)
+        big.get_or_create("b3", lambda: 1)  # pushes total to 4 > 3
+        assert budget.total <= 3.0
+        assert len(small) == 1, "fair-share resident evicted"
+        assert len(big) == 2
+
+    def test_stale_claim_zeroed_instead_of_spinning(self):
+        budget = self._budget(1.0)
+        budget.register("ghost", lambda: 0.0)  # evictor that can't free
+        budget.charge("ghost", 5.0)  # would loop forever pre-fix
+        assert budget.usage("ghost") == 0.0
+
+    def test_invalid_inputs(self):
+        from repro.errors import ParameterError
+        from repro.utils.budget import CacheBudget
+
+        with pytest.raises(ParameterError):
+            CacheBudget(0)
+        budget = CacheBudget(1)
+        with pytest.raises(ParameterError):
+            budget.charge("a", -1.0)
+
+
+class TestBudgetedLru:
+    def test_lru_contract_and_costing(self):
+        from repro.utils.budget import BudgetedLru, CacheBudget
+
+        budget = CacheBudget(10.0)
+        calls = []
+
+        def factory(key):
+            def build():
+                calls.append(key)
+                return key * 2
+            return build
+
+        lru = BudgetedLru("o", budget, cost_of=lambda k, v: 2.0)
+        assert lru.get_or_create(1, factory(1)) == 2
+        assert lru.get_or_create(1, factory(1)) == 2  # cached: factory not re-run
+        assert calls == [1]
+        assert lru.cache_info()["hits"] == 1
+        assert budget.usage("o") == 2.0
+
+    def test_local_maxsize_applies_before_budget(self):
+        from repro.utils.budget import BudgetedLru, CacheBudget
+
+        budget = CacheBudget(100.0)
+        lru = BudgetedLru("o", budget, maxsize=2)
+        for i in range(5):
+            lru.get_or_create(i, lambda i=i: i)
+        assert len(lru) == 2
+        assert budget.usage("o") == 2.0
+        assert 4 in lru and 3 in lru  # newest survive
+
+    def test_clear_returns_cost_to_budget(self):
+        from repro.utils.budget import BudgetedLru, CacheBudget
+
+        budget = CacheBudget(10.0)
+        lru = BudgetedLru("o", budget, cost_of=lambda k, v: 3.0)
+        lru.get_or_create("x", lambda: 1)
+        assert budget.usage("o") == 3.0
+        lru.clear()
+        assert budget.usage("o") == 0.0
+        assert len(lru) == 0
