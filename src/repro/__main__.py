@@ -9,6 +9,7 @@ Usage::
     python -m repro service [options]    # run the streaming pipeline demo
     python -m repro multitenant [opts]   # sharded multi-tenant service demo
     python -m repro trace [options]      # traced pipeline run -> Perfetto JSON
+    python -m repro health [options]     # SLO health report for a short run
     python -m repro perfgate [options]   # BENCH_*.json vs committed baselines
 
 service options (all optional)::
@@ -45,7 +46,23 @@ trace options (all optional)::
 
 Load the trace at https://ui.perfetto.dev (Open trace file). Spans nest
 producer -> encrypt -> keystream with variant/omega attributes and
-modeled-cycle annotations in each slice's args.
+modeled-cycle annotations in each slice's args; flight-recorder time
+series (uplink queue depth, noise headroom) render as counter tracks.
+
+health options (all optional)::
+
+    --tenants N            distinct tenants in the probe run (default 2)
+    --sessions-per-tenant N  sessions each (default 2)
+    --frames N             frames per session (default 4)
+    --drop-rate R          injected uplink drop probability (default 0.0)
+    --mode M               symmetric | hhe (default symmetric)
+    --json                 emit the HealthReport as JSON
+    --out PATH             also write the JSON report to PATH
+
+The health command streams a short multi-tenant run through a fresh
+registry/tracer/flight-recorder, folds the per-tenant SLO windows (p99
+latency, frame loss, minimum modeled noise headroom in hhe mode) and the
+incident ring into a HealthReport, and exits 0 iff healthy.
 
 perfgate options: --current DIR, --baseline DIR, --tolerance T (see
 ``repro.eval.perfgate``).
@@ -202,9 +219,11 @@ def multitenant_main(argv) -> int:
 def trace_main(argv) -> int:
     """Run one traced pipeline pass; export Perfetto JSON + cycle report."""
     from repro.obs import (
+        FlightRecorder,
         MetricsRegistry,
         Tracer,
         prometheus_text,
+        set_flight_recorder,
         set_registry,
         set_tracer,
         write_chrome_trace,
@@ -242,21 +261,27 @@ def trace_main(argv) -> int:
     )
     plan = FaultPlan(seed=1, drop_rate=opts["drop-rate"])
 
-    # Fresh registry + tracer for exactly this run; the engines' spans
-    # resolve the globals at call time, so swap them in and restore after.
+    # Fresh registry + tracer + flight recorder for exactly this run; the
+    # engines' spans resolve the globals at call time, so swap them in and
+    # restore after.
     tracer = Tracer()
+    recorder = FlightRecorder()
     previous_tracer = set_tracer(tracer)
     previous_registry = set_registry(MetricsRegistry())
+    previous_recorder = set_flight_recorder(recorder)
     try:
         result = StreamingPipeline(config, plan).run()
     finally:
         registry = set_registry(previous_registry)
         set_tracer(previous_tracer)
+        set_flight_recorder(previous_recorder)
 
-    n_spans = write_chrome_trace(opts["out"], tracer, process_name="repro-service")
+    n_spans = write_chrome_trace(
+        opts["out"], tracer, process_name="repro-service", counters=recorder
+    )
     if opts["metrics-out"]:
         with open(opts["metrics-out"], "w") as fh:
-            fh.write(prometheus_text(registry))
+            fh.write(prometheus_text(registry, recorder=recorder))
 
     report = attribute(tracer.finished_spans(), tolerance=opts["tolerance"])
     print(f"traced pipeline run ({config.mode}, {config.params.name}, "
@@ -275,6 +300,84 @@ def trace_main(argv) -> int:
     return 0
 
 
+def health_main(argv) -> int:
+    """Run a short probe workload and print/write the SLO health report."""
+    import json
+
+    from repro.obs import (
+        FlightRecorder,
+        MetricsRegistry,
+        Tracer,
+        evaluate_health,
+        set_flight_recorder,
+        set_registry,
+        set_tracer,
+    )
+    from repro.pasta.params import PASTA_MICRO, PASTA_TOY
+    from repro.service import FaultPlan, MultiTenantConfig, MultiTenantService, TenantSpec
+
+    opts = {"tenants": 2, "sessions-per-tenant": 2, "frames": 4, "drop-rate": 0.0,
+            "mode": "symmetric", "json": False, "out": None}
+    it = iter(argv)
+    for arg in it:
+        name = arg.lstrip("-")
+        if name == "json":
+            opts["json"] = True
+        elif name in ("tenants", "sessions-per-tenant", "frames"):
+            opts[name] = int(next(it))
+        elif name == "drop-rate":
+            opts[name] = float(next(it))
+        elif name in ("mode", "out"):
+            opts[name] = next(it)
+        else:
+            print(f"unknown health option {arg!r}", file=sys.stderr)
+            return 2
+
+    hhe = opts["mode"] == "hhe"
+    specs = tuple(
+        TenantSpec(
+            f"tenant-{i:02d}",
+            sessions=opts["sessions-per-tenant"],
+            frames_per_session=opts["frames"],
+        )
+        for i in range(opts["tenants"])
+    )
+    config = MultiTenantConfig(
+        tenants=specs,
+        params=PASTA_MICRO if hhe else PASTA_TOY,
+        n_shards=2,
+        mode=opts["mode"],
+    )
+    plan = FaultPlan(seed=1, drop_rate=opts["drop-rate"])
+
+    # The probe owns its observability state end to end: fresh registry,
+    # tracer, and flight recorder, restored whatever the run does.
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    recorder = FlightRecorder()
+    previous_registry = set_registry(registry)
+    previous_tracer = set_tracer(tracer)
+    previous_recorder = set_flight_recorder(recorder)
+    try:
+        MultiTenantService(config, plan, registry=registry, tracer=tracer).run()
+    finally:
+        set_registry(previous_registry)
+        set_tracer(previous_tracer)
+        set_flight_recorder(previous_recorder)
+
+    report = evaluate_health(registry=registry, recorder=recorder)
+    payload = report.to_dict()
+    if opts["out"]:
+        with open(opts["out"], "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    if opts["json"]:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.render())
+    return 0 if report.healthy else 1
+
+
 def main(argv=None) -> int:
     argv = argv if argv is not None else sys.argv[1:]
     from repro.eval import EXPERIMENTS
@@ -291,6 +394,8 @@ def main(argv=None) -> int:
         return multitenant_main(argv[1:])
     if command == "trace":
         return trace_main(argv[1:])
+    if command == "health":
+        return health_main(argv[1:])
     if command == "perfgate":
         from repro.eval.perfgate import main as perfgate_main
 

@@ -160,6 +160,11 @@ def transcipher_blocks_per_frame(
 #: :func:`repro.pasta.xof.encode_block_seed`).
 MAX_NONCE = 2**64 - 1
 
+#: Fraction of the configured nonce range consumed before the sequence
+#: raises an early warning through the flight recorder — far enough from
+#: exhaustion to rotate the key, close enough to mean it.
+NONCE_WARNING_FRACTION = 0.9
+
 
 class NonceSequence:
     """Thread-safe monotonic nonce allocator for a streaming sender.
@@ -179,9 +184,12 @@ class NonceSequence:
                 f"nonce range [{start}, {limit}] not within [0, {MAX_NONCE}]"
             )
         self._lock = threading.Lock()
+        self._start = start
         self._next = start
         self._limit = limit
         self._issued = 0
+        self._capacity = limit - start + 1
+        self._warned = False
 
     def next(self) -> int:
         """Issue the next unused nonce; raise on exhaustion, never wrap."""
@@ -194,7 +202,29 @@ class NonceSequence:
             value = self._next
             self._next += 1
             self._issued += 1
-            return value
+            warn = (
+                not self._warned
+                and self._issued / self._capacity >= NONCE_WARNING_FRACTION
+            )
+            if warn:
+                self._warned = True
+            issued, remaining = self._issued, self._limit - self._next + 1
+        # Outside the lock: the recorder and registry take their own locks,
+        # and a key rotation must not wait on telemetry.
+        if warn:
+            from repro.obs import get_flight_recorder, get_registry
+
+            get_registry().gauge(
+                "pasta.nonce.remaining",
+                help="nonces left before this sequence refuses to issue",
+            ).set(remaining)
+            get_flight_recorder().record(
+                "nonce_near_exhaustion",
+                issued=issued,
+                remaining=remaining,
+                capacity=self._capacity,
+            )
+        return value
 
     @property
     def issued(self) -> int:

@@ -72,6 +72,15 @@ GATED_METRICS: Dict[str, Tuple[Tuple[str, str], ...]] = {
     "BENCH_obs_overhead.json": (
         ("overhead_pct", "floor:overhead_floor_pct"),
     ),
+    "BENCH_noise_headroom.json": (
+        # Worst-case modeled headroom across engines and prime widths: a
+        # regression means a growth rule got looser or the circuit deeper.
+        ("min_headroom_bits", "higher"),
+        # End-to-end budget consumption, gated absolutely against the
+        # ceiling the report declares: over it, decryption failure is one
+        # parameter tweak away regardless of how the baseline moved.
+        ("worst.noise_fraction", "floor:worst.noise_ceiling"),
+    ),
     "BENCH_multitenant.json": (
         ("sessions_per_s", "higher"),
         ("frames_per_s", "higher"),

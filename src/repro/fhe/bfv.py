@@ -32,6 +32,7 @@ from repro.fhe.engine import CiphertextTensor, PreparedPlain, make_engine, round
 from repro.fhe.galois import rotation_element
 from repro.fhe.rns import ntt_prime_chain
 from repro.fhe.rng import PolyRng
+from repro.obs.noise import NoiseEstimate, NoiseModel
 
 _round_div = round_div  # kept under the historical private name
 
@@ -116,9 +117,15 @@ class Ciphertext:
 
     The polynomial representation is engine-native — coefficient lists for
     the big-int engine, lazily dual-domain residue matrices for RNS.
+
+    ``noise`` is the ledger's modeled bound (see :mod:`repro.obs.noise`):
+    every homomorphic op updates it via the scheme's closed-form growth
+    rules, so the server can read headroom without the secret key. A
+    ciphertext of unknown provenance simply carries ``None``.
     """
 
     parts: List[Any]
+    noise: Optional[NoiseEstimate] = None
 
     @property
     def size(self) -> int:
@@ -182,6 +189,7 @@ class Bfv:
         self.params = params
         self.engine = make_engine(params, engine)
         self._rng = PolyRng(seed)
+        self.noise_model = NoiseModel(params)
 
     @property
     def engine_name(self) -> str:
@@ -266,7 +274,7 @@ class Bfv:
         scaled = eng.scalar_mul(params.delta, eng.lift(self._reduced_plain(plain)))
         c0 = eng.add(eng.add(eng.mul(pk.b, u), e1), scaled)
         c1 = eng.add(eng.mul(pk.a, u), e2)
-        return Ciphertext(parts=[c0, c1])
+        return Ciphertext(parts=[c0, c1], noise=self.noise_model.fresh())
 
     def _phase(self, sk: SecretKey, ct: Ciphertext) -> Any:
         eng = self.engine
@@ -307,24 +315,33 @@ class Bfv:
         if ct1.size != ct2.size:
             raise ParameterError("ciphertext sizes differ; relinearize first")
         eng = self.engine
-        return Ciphertext(parts=[eng.add(a, b) for a, b in zip(ct1.parts, ct2.parts)])
+        return Ciphertext(
+            parts=[eng.add(a, b) for a, b in zip(ct1.parts, ct2.parts)],
+            noise=self.noise_model.add(ct1.noise, ct2.noise),
+        )
 
     def neg(self, ct: Ciphertext) -> Ciphertext:
-        return Ciphertext(parts=[self.engine.neg(p) for p in ct.parts])
+        return Ciphertext(
+            parts=[self.engine.neg(p) for p in ct.parts],
+            noise=self.noise_model.neg(ct.noise),
+        )
 
     def add_plain(self, ct: Ciphertext, message: int) -> Ciphertext:
         params = self.params
         value = params.delta * (message % params.p) % params.q
         parts = list(ct.parts)
         parts[0] = self.engine.add_const(parts[0], value)
-        return Ciphertext(parts=parts)
+        return Ciphertext(parts=parts, noise=self.noise_model.add_plain(ct.noise))
 
     def mul_plain(self, ct: Ciphertext, constant: int) -> Ciphertext:
         """Multiply by a public scalar (centered lift minimizes noise growth)."""
         c = constant % self.params.p
         if c > self.params.p // 2:
             c -= self.params.p  # centered representative
-        return Ciphertext(parts=[self.engine.scalar_mul(c, p) for p in ct.parts])
+        return Ciphertext(
+            parts=[self.engine.scalar_mul(c, p) for p in ct.parts],
+            noise=self.noise_model.mul_plain(ct.noise),
+        )
 
     # -- plaintext-polynomial operations (used by slot batching) -----------------
 
@@ -372,7 +389,7 @@ class Bfv:
         scaled = self._take_prepared(plain, "add")
         parts = list(ct.parts)
         parts[0] = self.engine.add(parts[0], scaled)
-        return Ciphertext(parts=parts)
+        return Ciphertext(parts=parts, noise=self.noise_model.add_plain(ct.noise))
 
     def mul_plain_poly(
         self, ct: Ciphertext, plain: Union[Sequence[int], PreparedPlain]
@@ -381,13 +398,19 @@ class Bfv:
         polynomial encodes a slot vector). Centered coefficients keep the
         noise growth at ||plain||_1 rather than p * N."""
         handle = self._take_prepared(plain, "mul")
-        return Ciphertext(parts=[self.engine.mul_plain(part, handle) for part in ct.parts])
+        return Ciphertext(
+            parts=[self.engine.mul_plain(part, handle) for part in ct.parts],
+            noise=self.noise_model.mul_plain_poly(ct.noise),
+        )
 
     def multiply_raw(self, ct1: Ciphertext, ct2: Ciphertext) -> Ciphertext:
         """Tensor multiplication -> 3-component ciphertext (no relin)."""
         if ct1.size != 2 or ct2.size != 2:
             raise ParameterError("multiply expects 2-component ciphertexts")
-        return Ciphertext(parts=self.engine.tensor_scale(ct1.parts, ct2.parts))
+        return Ciphertext(
+            parts=self.engine.tensor_scale(ct1.parts, ct2.parts),
+            noise=self.noise_model.multiply_raw(ct1.noise, ct2.noise),
+        )
 
     def relinearize(self, ct: Ciphertext, rlk: RelinKey) -> Ciphertext:
         """Key-switch a 3-component ciphertext back to two components."""
@@ -401,7 +424,7 @@ class Bfv:
         for d, (b_i, a_i) in zip(digits, rlk.parts):
             new0 = eng.add(new0, eng.mul(d, b_i))
             new1 = eng.add(new1, eng.mul(d, a_i))
-        return Ciphertext(parts=[new0, new1])
+        return Ciphertext(parts=[new0, new1], noise=self.noise_model.keyswitch(ct.noise))
 
     def multiply(self, ct1: Ciphertext, ct2: Ciphertext, rlk: RelinKey) -> Ciphertext:
         """Full homomorphic multiplication: tensor + relinearize."""
@@ -425,7 +448,7 @@ class Bfv:
         params = self.params
         g = int(element) % (2 * params.n)
         if g == 1:
-            return Ciphertext(parts=list(ct.parts))
+            return Ciphertext(parts=list(ct.parts), noise=ct.noise)
         c0 = eng.galois(ct.parts[0], g)
         c1 = eng.galois(ct.parts[1], g)
         digits = eng.relin_digits(c1, params.relin_base, params.relin_parts)
@@ -435,7 +458,7 @@ class Bfv:
             new0 = eng.add(new0, eng.mul(d, b_i))
             term = eng.mul(d, a_i)
             new1 = term if new1 is None else eng.add(new1, term)
-        return Ciphertext(parts=[new0, new1])
+        return Ciphertext(parts=[new0, new1], noise=self.noise_model.rotate(ct.noise))
 
     def rotate_slots(self, ct: Ciphertext, steps: int, gk: GaloisKey) -> Ciphertext:
         """Rotate both batching-hypercube rows LEFT by ``steps`` slots.
@@ -458,10 +481,16 @@ class Bfv:
 
     def stack_ciphertexts(self, cts: Sequence[Ciphertext]) -> CiphertextTensor:
         """Stack same-size ciphertexts into one eval-domain residue tensor."""
-        return self._tensor_engine().stack_polys([ct.parts for ct in cts])
+        tensor = self._tensor_engine().stack_polys([ct.parts for ct in cts])
+        tensor.noise = self.noise_model.merge(ct.noise for ct in cts)
+        return tensor
 
     def unstack_ciphertexts(self, tensor: CiphertextTensor) -> List[Ciphertext]:
-        return [Ciphertext(parts=row) for row in self._tensor_engine().unstack_polys(tensor)]
+        # Every slot inherits the tensor's worst-slot bound.
+        return [
+            Ciphertext(parts=row, noise=tensor.noise)
+            for row in self._tensor_engine().unstack_polys(tensor)
+        ]
 
     def _take_prepared_tensor(self, prepared: PreparedPlain, kind: str) -> np.ndarray:
         if not isinstance(prepared, PreparedPlain) or prepared.kind != kind or (
@@ -545,20 +574,30 @@ class Bfv:
         """Fused affine layer: prepared matrix einsum + round-constant add."""
         eng = self._tensor_engine()
         rc_rows = self._take_prepared_tensor(rc, "add_rows") if rc is not None else None
-        return eng.tensor_affine(self._take_prepared_tensor(matrix, "matmul"), state, rc_rows)
+        out = eng.tensor_affine(self._take_prepared_tensor(matrix, "matmul"), state, rc_rows)
+        out.noise = self.noise_model.affine(
+            state.noise, state.slots, round_constant=rc is not None
+        )
+        return out
 
     def tensor_add(self, a: CiphertextTensor, b: CiphertextTensor) -> CiphertextTensor:
         if a.data.shape != b.data.shape:
             raise ParameterError("tensor addition requires matching shapes")
-        return self._tensor_engine().tensor_add(a, b)
+        out = self._tensor_engine().tensor_add(a, b)
+        out.noise = self.noise_model.add(a.noise, b.noise)
+        return out
 
     def tensor_neg(self, a: CiphertextTensor) -> CiphertextTensor:
-        return self._tensor_engine().tensor_neg(a)
+        out = self._tensor_engine().tensor_neg(a)
+        out.noise = self.noise_model.neg(a.noise)
+        return out
 
     def tensor_add_plain_rows(self, state: CiphertextTensor, rows: PreparedPlain) -> CiphertextTensor:
-        return self._tensor_engine().tensor_add_rows(
+        out = self._tensor_engine().tensor_add_rows(
             state, self._take_prepared_tensor(rows, "add_rows")
         )
+        out.noise = self.noise_model.add_plain(state.noise)
+        return out
 
     def _relin_key_stacks(self, rlk: RelinKey):
         stacks = getattr(rlk, "_tensor_stacks", None)
@@ -571,9 +610,11 @@ class Bfv:
         """Batched square + relinearize of every slot of the tensor."""
         eng = self._tensor_engine()
         parts3 = eng.tensor_scale_batch(state)
-        return eng.tensor_relin(
+        out = eng.tensor_relin(
             parts3, self.params.relin_base, self.params.relin_parts, self._relin_key_stacks(rlk)
         )
+        out.noise = self.noise_model.multiply(state.noise, state.noise)
+        return out
 
     def tensor_mul(
         self, a: CiphertextTensor, b: CiphertextTensor, rlk: RelinKey
@@ -583,15 +624,19 @@ class Bfv:
             raise ParameterError("tensor multiply requires matching slot counts")
         eng = self._tensor_engine()
         parts3 = eng.tensor_scale_batch(a, b)
-        return eng.tensor_relin(
+        out = eng.tensor_relin(
             parts3, self.params.relin_base, self.params.relin_parts, self._relin_key_stacks(rlk)
         )
+        out.noise = self.noise_model.multiply(a.noise, b.noise)
+        return out
 
     def tensor_mul_plain_rows(self, state: CiphertextTensor, rows: PreparedPlain) -> CiphertextTensor:
         """Slot-wise plaintext product per stacked ciphertext (masking etc.)."""
-        return self._tensor_engine().tensor_mul_plain(
+        out = self._tensor_engine().tensor_mul_plain(
             state, self._take_prepared_tensor(rows, "mul_rows")
         )
+        out.noise = self.noise_model.mul_plain_poly(state.noise)
+        return out
 
     def _galois_key_stacks(self, gk: GaloisKey, element: int):
         cache = getattr(gk, "_tensor_stacks", None)
@@ -616,12 +661,14 @@ class Bfv:
         if state.parts != 2:
             raise ParameterError("tensor galois expects 2-part ciphertext tensors")
         rotated = eng.tensor_galois(state, g)
-        return eng.tensor_keyswitch(
+        out = eng.tensor_keyswitch(
             rotated.data,
             params.relin_base,
             params.relin_parts,
             self._galois_key_stacks(gk, g),
         )
+        out.noise = self.noise_model.rotate(state.noise)
+        return out
 
     def tensor_rotate(self, state: CiphertextTensor, steps: int, gk: GaloisKey) -> CiphertextTensor:
         """Batched slot rotation (left by ``steps``) of every stacked ciphertext."""

@@ -78,6 +78,10 @@ class CiphertextTensor:
 
     ctx: RnsContext
     data: np.ndarray
+    #: Worst-slot noise-ledger bound (:class:`repro.obs.noise.NoiseEstimate`);
+    #: ``None`` when provenance is unknown. Engine kernels leave it unset —
+    #: the :class:`~repro.fhe.bfv.Bfv` wrappers apply the growth rules.
+    noise: Optional[Any] = None
 
     def __post_init__(self) -> None:
         expected = (len(self.ctx.primes), self.ctx.n)
@@ -99,7 +103,7 @@ class CiphertextTensor:
         """Slice along the slot axis (always returns a tensor, never a row)."""
         if isinstance(index, int):
             index = slice(index, index + 1)
-        return CiphertextTensor(self.ctx, self.data[index])
+        return CiphertextTensor(self.ctx, self.data[index], noise=self.noise)
 
     @classmethod
     def concat(cls, tensors: Sequence["CiphertextTensor"]) -> "CiphertextTensor":
@@ -108,7 +112,11 @@ class CiphertextTensor:
         ctx = tensors[0].ctx
         if any(t.ctx is not ctx for t in tensors):
             raise ParameterError("cannot concat tensors from different RNS contexts")
-        return cls(ctx, np.concatenate([t.data for t in tensors], axis=0))
+        noises = [t.noise for t in tensors]
+        merged = None
+        if all(n is not None for n in noises):
+            merged = max(noises, key=lambda n: n.bits)
+        return cls(ctx, np.concatenate([t.data for t in tensors], axis=0), noise=merged)
 
 
 class BigintEngine:

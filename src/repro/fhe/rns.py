@@ -27,6 +27,7 @@ Key objects:
 
 from __future__ import annotations
 
+import math
 from functools import lru_cache
 from typing import List, Optional, Sequence, Tuple
 
@@ -108,6 +109,10 @@ class RnsContext:
         qmax = max(primes)
         self._chunk = max(1, (_INT64_MAX - (qmax - 1)) // ((qmax - 1) ** 2))
         self._mixed_radix: Optional["MixedRadix"] = None
+        # Exact log2(q) in the float domain, where the noise ledger's growth
+        # rules live: sum of per-prime logs avoids the precision cliff of
+        # log2(product) once q outgrows a double's mantissa.
+        self.log2_modulus = float(sum(math.log2(q) for q in primes))
 
     def __repr__(self) -> str:
         return (

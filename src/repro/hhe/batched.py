@@ -580,7 +580,13 @@ class BatchedHheServer:
                     eng.ctx, np.stack([giant_sums[0][g], giant_sums[1][g]])
                 )
                 acc = self.scheme.tensor_add(pair, rotated)
-            return self.scheme.tensor_add_plain_rows(acc, rc)
+            out = self.scheme.tensor_add_plain_rows(acc, rc)
+            # The raw matmul_mod contractions above bypass the Bfv wrappers,
+            # so the ledger gets the layer's closed-form bound in one step.
+            out.noise = self.scheme.noise_model.bsgs_affine(
+                state.noise, bs, giants, round_constant=True
+            )
+            return out
 
     def _take_prepared_diags(self, nonce, counters, layer, side):
         return self.scheme._take_prepared_tensor(
@@ -639,8 +645,9 @@ class BatchedHheServer:
         ``(nonce, counters[b])``. Slot b of output ciphertext j encrypts
         message element j of block b.
         """
-        from repro.obs import get_registry, get_tracer
+        from repro.obs import get_registry, get_tracer, record_headroom
         from repro.obs.cycles import modeled_cycle_attributes
+        from repro.obs.noise import HEADROOM_ATTR, NOISE_ATTR
 
         params = self.params
         obs = get_registry()
@@ -658,8 +665,21 @@ class BatchedHheServer:
             engine=self.eval_engine,
             blocks=len(counters),
             **modeled_cycle_attributes(params, len(counters)),
-        ):
-            return self._transcipher_blocks(ciphertext_blocks, nonce, counters)
+        ) as span:
+            result = self._transcipher_blocks(ciphertext_blocks, nonce, counters)
+            # Ledger exit point: the worst modeled bound across the result
+            # ciphertexts becomes the span's noise attributes and the
+            # fhe.noise.headroom_bits gauge — no secret key involved.
+            model = self.scheme.noise_model
+            worst = model.merge(ct.noise for ct in result.ciphertexts)
+            if worst is not None:
+                headroom = model.headroom_bits(worst)
+                span.set_attribute(NOISE_ATTR, round(worst.bits, 3))
+                span.set_attribute(HEADROOM_ATTR, round(headroom, 3))
+                record_headroom(
+                    headroom, engine=self.eval_engine, tenant=self.tenant
+                )
+            return result
 
     def _transcipher_blocks(
         self,

@@ -12,6 +12,12 @@ Grown from the original single-module metrics layer into four pieces:
 * :mod:`repro.obs.cycles` — the bridge from measured span time to the
   accelerator model's predicted cycle budgets (imported lazily by call
   sites; it pulls in :mod:`repro.hw`).
+* :mod:`repro.obs.noise` — the closed-form BFV noise ledger: per-op
+  growth rules bounding invariant noise without the secret key, plus the
+  measured-vs-modeled divergence report.
+* :mod:`repro.obs.health` — the bounded flight recorder (structured
+  incident ring + counter-track time series) and per-tenant SLO windows
+  feeding ``python -m repro health``.
 
 The original ``from repro.obs import MetricsRegistry, get_registry, ...``
 surface is unchanged; tracing additions are exported alongside it.
@@ -35,6 +41,17 @@ from repro.obs.trace import (
     set_tracer,
 )
 from repro.obs.export import chrome_trace, prometheus_text, write_chrome_trace
+from repro.obs.noise import NoiseEstimate, NoiseModel, NoiseReport, divergence_report
+from repro.obs.health import (
+    FlightRecorder,
+    HealthEvent,
+    HealthReport,
+    SloPolicy,
+    evaluate_health,
+    get_flight_recorder,
+    record_headroom,
+    set_flight_recorder,
+)
 
 __all__ = [
     "DEFAULT_RESERVOIR",
@@ -53,4 +70,16 @@ __all__ = [
     "chrome_trace",
     "prometheus_text",
     "write_chrome_trace",
+    "NoiseEstimate",
+    "NoiseModel",
+    "NoiseReport",
+    "divergence_report",
+    "FlightRecorder",
+    "HealthEvent",
+    "HealthReport",
+    "SloPolicy",
+    "evaluate_health",
+    "get_flight_recorder",
+    "record_headroom",
+    "set_flight_recorder",
 ]

@@ -14,7 +14,14 @@ Two renderings of the same observability state:
   ``name{label="v"} value`` samples), so a scrape endpoint or a textfile
   collector can ship the registry without bespoke glue. Histograms are
   exposed as Prometheus summaries (``_count`` / ``_sum`` + quantiles);
-  gauges additionally expose their running ``_max``.
+  gauges additionally expose their running ``_max``. Passing a
+  :class:`~repro.obs.health.FlightRecorder` adds the incident counters
+  (``repro_flight_events_total{kind=,severity=}``).
+
+Flight-recorder time series (queue depth, noise headroom) ride along in
+the Perfetto export as counter tracks (``"ph": "C"``): they are sampled
+on the same ``perf_counter`` clock as spans, so the counter staircase
+lines up under the span slices on a shared epoch.
 """
 
 from __future__ import annotations
@@ -44,26 +51,59 @@ def _json_safe(value: object) -> object:
     return str(value)
 
 
+def _counter_series(counters: object) -> Dict[str, List]:
+    """Normalize the ``counters`` argument to ``{track: [(t, value)]}``.
+
+    Accepts a :class:`~repro.obs.health.FlightRecorder` (its bounded time
+    series become the tracks) or any mapping of that shape.
+    """
+    if counters is None:
+        return {}
+    series = getattr(counters, "series", None)
+    if callable(series):
+        return series()
+    return {name: list(points) for name, points in dict(counters).items()}
+
+
 def chrome_trace(
-    spans_or_tracer: Union[Tracer, Iterable[Span]], process_name: str = "repro"
+    spans_or_tracer: Union[Tracer, Iterable[Span]],
+    process_name: str = "repro",
+    counters: object = None,
 ) -> Dict[str, object]:
     """Spans → Chrome trace-event JSON (object format), Perfetto-loadable.
 
-    Timestamps are microseconds relative to the earliest span start, so
-    the trace always begins at t=0 regardless of perf-counter epoch.
+    Timestamps are microseconds relative to the earliest span start (or
+    counter sample), so the trace always begins at t=0 regardless of
+    perf-counter epoch. ``counters`` adds ``"ph": "C"`` counter tracks
+    (queue depth, noise headroom) sharing that epoch with the spans.
     """
     spans = (
         spans_or_tracer.finished_spans()
         if isinstance(spans_or_tracer, Tracer)
         else list(spans_or_tracer)
     )
+    tracks = _counter_series(counters)
     events: List[Dict[str, object]] = [
         {"ph": "M", "pid": 1, "tid": 0, "name": "process_name", "args": {"name": process_name}}
     ]
-    if not spans:
+    starts = [s.start for s in spans]
+    starts.extend(t for points in tracks.values() for t, _ in points)
+    if not starts:
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
-    epoch = min(s.start for s in spans)
+    epoch = min(starts)
+    for track_name in sorted(tracks):
+        for t, value in tracks[track_name]:
+            events.append(
+                {
+                    "ph": "C",
+                    "pid": 1,
+                    "tid": 0,
+                    "name": track_name,
+                    "ts": (t - epoch) * 1e6,
+                    "args": {"value": value},
+                }
+            )
     named_threads = set()
     for span in spans:
         if span.thread_id not in named_threads:
@@ -103,9 +143,10 @@ def write_chrome_trace(
     path: str,
     spans_or_tracer: Union[Tracer, Iterable[Span]],
     process_name: str = "repro",
+    counters: object = None,
 ) -> int:
     """Write the Perfetto JSON to ``path``; returns the span count."""
-    trace = chrome_trace(spans_or_tracer, process_name=process_name)
+    trace = chrome_trace(spans_or_tracer, process_name=process_name, counters=counters)
     with open(path, "w") as fh:
         json.dump(trace, fh, indent=1)
         fh.write("\n")
@@ -120,6 +161,10 @@ def _prom_name(name: str, suffix: str = "") -> str:
     base = _INVALID_PROM_CHARS.sub("_", name)
     if base and base[0].isdigit():
         base = "_" + base
+    # A metric already carrying the conventional suffix (a counter named
+    # "*.total", say) must not render doubled as "*_total_total".
+    if suffix and base.endswith(suffix):
+        return base
     return base + suffix
 
 
@@ -135,8 +180,13 @@ def _prom_labels(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None)
     return "{" + inner + "}"
 
 
-def prometheus_text(registry: MetricsRegistry) -> str:
-    """Render every metric in the Prometheus text exposition format."""
+def prometheus_text(registry: MetricsRegistry, recorder: object = None) -> str:
+    """Render every metric in the Prometheus text exposition format.
+
+    With a :class:`~repro.obs.health.FlightRecorder`, its incident ring
+    is rendered as the ``repro_flight_events_total{kind=,severity=}`` and
+    ``repro_flight_events_dropped_total`` counter families.
+    """
     lines: List[str] = []
     seen_headers = set()
 
@@ -169,4 +219,19 @@ def prometheus_text(registry: MetricsRegistry) -> str:
                 lines.append(f"{name}{_prom_labels(metric.labels, {'quantile': str(q)})} {value}")
             lines.append(f"{name}_sum{_prom_labels(metric.labels)} {metric.sum}")
             lines.append(f"{name}_count{_prom_labels(metric.labels)} {metric.count}")
+
+    if recorder is not None:
+        pairs: Dict[tuple, int] = {}
+        for event in recorder.events():
+            key = (event.kind, event.severity)
+            pairs[key] = pairs.get(key, 0) + 1
+        name = "repro_flight_events_total"
+        header(name, "counter", "structured flight-recorder incidents")
+        for (kind, severity), count in sorted(pairs.items()):
+            lines.append(
+                f"{name}{_prom_labels({'kind': kind, 'severity': severity})} {count}"
+            )
+        dropped_name = "repro_flight_events_dropped_total"
+        header(dropped_name, "counter", "")
+        lines.append(f"{dropped_name} {recorder.dropped}")
     return "\n".join(lines) + ("\n" if lines else "")

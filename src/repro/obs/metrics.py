@@ -32,6 +32,7 @@ exporters never re-parse the composite key.
 from __future__ import annotations
 
 import json
+import math
 import random
 import threading
 import time
@@ -208,12 +209,17 @@ class Histogram:
             return self._sum
 
     def percentile(self, q: float) -> float:
-        """The q-th percentile (0 <= q <= 100) of the sampled distribution."""
+        """The q-th percentile (0 <= q <= 100) of the sampled distribution.
+
+        An empty reservoir has no percentiles: the result is ``NaN``, the
+        one value downstream gates refuse to treat as a real measurement
+        (perfgate hard-fails non-finite metrics instead of comparing).
+        """
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
         with self._lock:
             if not self._samples:
-                return 0.0
+                return math.nan
             ordered = sorted(self._samples)
             # Nearest-rank on the reservoir; min/max stay exact.
             rank = min(len(ordered) - 1, max(0, round(q / 100.0 * (len(ordered) - 1))))
@@ -222,12 +228,15 @@ class Histogram:
     def summary(self) -> Dict[str, float]:
         with self._lock:
             count, total = self._count, self._sum
+        # Empty-window statistics are NaN, not 0.0: a zero here reads as
+        # "measured and found instant", which downstream consumers (SLO
+        # windows, perfgate) must never mistake an idle histogram for.
         return {
             "count": count,
             "sum": total,
-            "mean": total / count if count else 0.0,
-            "min": self._min if self._min is not None else 0.0,
-            "max": self._max if self._max is not None else 0.0,
+            "mean": total / count if count else math.nan,
+            "min": self._min if self._min is not None else math.nan,
+            "max": self._max if self._max is not None else math.nan,
             "p50": self.percentile(50),
             "p90": self.percentile(90),
             "p99": self.percentile(99),

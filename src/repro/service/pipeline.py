@@ -63,7 +63,14 @@ import numpy as np
 from repro.apps.packing import pixels_per_element
 from repro.apps.video import NonceSequence, Resolution, synthetic_frames_batch
 from repro.errors import ParameterError, ServiceError
-from repro.obs import MetricsRegistry, SpanContext, Tracer, get_registry, get_tracer
+from repro.obs import (
+    MetricsRegistry,
+    SpanContext,
+    Tracer,
+    get_flight_recorder,
+    get_registry,
+    get_tracer,
+)
 from repro.pasta.batch import KeystreamEngine
 from repro.pasta.cipher import random_key
 from repro.pasta.params import PASTA_TOY, PastaParams
@@ -610,6 +617,12 @@ class StreamingPipeline:
             delivered = True
         except queue.Full:
             obs.counter("service.saturation.events").inc()
+            get_flight_recorder().record(
+                "load_shed",
+                frame_id=wire.frame_id,
+                attempt=wire.attempt,
+                queue_capacity=cfg.queue_capacity,
+            )
             if not self._in_saturation:
                 self._in_saturation = True
                 self._downshift()
@@ -626,10 +639,19 @@ class StreamingPipeline:
             # Depth from the put's own accounting: a sampled qsize() after
             # the fact races concurrent worker gets and under-reports the
             # high-water mark the gauge exists to expose.
-            obs.gauge("service.uplink.depth").add(1)
+            depth = obs.gauge("service.uplink.depth")
+            depth.add(1)
+            get_flight_recorder().sample("service.uplink.depth", depth.value)
 
     def _schedule_retry(self, wire: WireFrame, earliest: float) -> None:
         self.obs.counter("service.retries").inc()
+        get_flight_recorder().record(
+            "retry",
+            severity="info",
+            tenant=wire.tenant,
+            frame_id=wire.frame_id,
+            attempt=wire.attempt + 1,
+        )
         ready = earliest + self._backoff(wire.frame_id, wire.attempt + 1)
         self._retry_q.put((ready, wire.frame_id, wire.attempt + 1))
 
@@ -670,7 +692,9 @@ class StreamingPipeline:
                 idle.observe(time.perf_counter() - idle_start)
                 # Mirror of the producer-side add: each get accounts for
                 # itself rather than trusting a racy qsize() sample.
-                obs.gauge("service.uplink.depth").add(-len(wires))
+                depth = obs.gauge("service.uplink.depth")
+                depth.add(-len(wires))
+                get_flight_recorder().sample("service.uplink.depth", depth.value)
                 self._recover(wires)
         except BaseException as exc:
             self._fail(ServiceError(f"worker failed: {exc!r}"))
@@ -790,6 +814,10 @@ class StreamingPipeline:
             nonces = {fid: list(state.nonces) for fid, state in self._state.items()}
         fps = cfg.n_frames / duration if duration > 0 else 0.0
         self.obs.gauge("service.fps").set(fps)
+        # Frame-loss accounting for the SLO window: a successful run always
+        # reaches zero (run() raises otherwise), but the gauge makes the
+        # invariant externally checkable rather than implied.
+        self.obs.gauge("service.frames.lost").set(cfg.n_frames - len(frames))
         return PipelineResult(
             frames=frames,
             duration_seconds=duration,

@@ -54,7 +54,13 @@ import numpy as np
 from repro.apps.video import NonceSequence, Resolution, synthetic_frames_batch
 from repro.errors import ParameterError, ServiceError
 from repro.keccak.shake import shake128
-from repro.obs import MetricsRegistry, Tracer, get_registry, get_tracer
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    get_flight_recorder,
+    get_registry,
+    get_tracer,
+)
 from repro.pasta.batch import KeystreamEngine
 from repro.pasta.cipher import random_key
 from repro.pasta.params import PASTA_TOY, PastaParams
@@ -473,6 +479,13 @@ class MultiTenantService:
 
     def _schedule_retry(self, wire: WireFrame, earliest: float) -> None:
         self.obs.counter("service.retries", tenant=wire.tenant).inc()
+        get_flight_recorder().record(
+            "retry",
+            severity="info",
+            tenant=wire.tenant,
+            frame_id=wire.frame_id,
+            attempt=wire.attempt + 1,
+        )
         ready = earliest + self._backoff(wire.frame_id, wire.attempt + 1)
         self._retry_q.put((ready, wire.frame_id, wire.attempt + 1))
 
@@ -680,13 +693,22 @@ class MultiTenantService:
             # Load shedding: re-offer after a jittered backoff; the counter
             # is per tenant so a hot tenant's pressure is attributable.
             self.obs.counter("service.shed.frames", tenant=wire.tenant).inc()
+            get_flight_recorder().record(
+                "load_shed",
+                tenant=wire.tenant,
+                shard=shard,
+                frame_id=wire.frame_id,
+                attempt=wire.attempt,
+            )
             with self._lock:
                 self._deferred_seq += 1
                 seq = self._deferred_seq
             ready = now + self._backoff(wire.frame_id, max(wire.attempt, 1))
             heapq.heappush(self._deferred, (ready, seq, wire))
             return
-        self.obs.gauge("service.uplink.depth", shard=shard).add(1)
+        depth = self.obs.gauge("service.uplink.depth", shard=shard)
+        depth.add(1)
+        get_flight_recorder().sample(f"service.uplink.depth/shard{shard}", depth.value)
 
     # -- shard workers -----------------------------------------------------------
 
@@ -710,7 +732,11 @@ class MultiTenantService:
                     except queue.Empty:
                         break
                 idle.observe(time.perf_counter() - idle_start)
-                obs.gauge("service.uplink.depth", shard=shard).add(-len(wires))
+                depth = obs.gauge("service.uplink.depth", shard=shard)
+                depth.add(-len(wires))
+                get_flight_recorder().sample(
+                    f"service.uplink.depth/shard{shard}", depth.value
+                )
                 self._recover(shard, wires)
         except BaseException as exc:
             self._fail(ServiceError(f"shard {shard} worker failed: {exc!r}"))
@@ -824,6 +850,12 @@ class MultiTenantService:
             tenant_latency[spec.tenant_id] = {
                 k: summary[k] for k in ("count", "mean", "p50", "p99")
             }
+            # Per-tenant loss gauge for the SLO window: offered minus
+            # recovered, observable after the run without re-deriving it.
+            expected = spec.sessions * spec.frames_per_session
+            self.obs.gauge("service.frames.lost", tenant=spec.tenant_id).set(
+                expected - int(summary["count"])
+            )
         budgets = {"engine_blocks": dict(self.engine_budget.snapshot())}
         if self.prepared_budget is not None:
             budgets["prepared_rows"] = dict(self.prepared_budget.snapshot())

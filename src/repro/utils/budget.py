@@ -34,7 +34,13 @@ from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.errors import ParameterError
 
-__all__ = ["CacheBudget", "BudgetedLru", "BudgetSnapshot"]
+__all__ = ["CacheBudget", "BudgetedLru", "BudgetSnapshot", "EVICTION_BURST"]
+
+#: Evictions a single charge must force before the flight recorder hears
+#: about it: steady one-at-a-time turnover is normal LRU behavior, a burst
+#: means one insert displaced a working set (mirrors
+#: :data:`repro.obs.health.EVICTION_BURST_THRESHOLD`).
+EVICTION_BURST = 8
 
 
 class BudgetSnapshot(dict):
@@ -77,7 +83,19 @@ class CacheBudget:
             raise ParameterError(f"cannot charge negative cost {cost}")
         with self._lock:
             self._usage[owner] = self._usage.get(owner, 0.0) + cost
-            self._rebalance_locked()
+            evicted = self._rebalance_locked()
+        # Outside the budget lock (one-way ordering budget -> cache holds;
+        # the recorder takes only its own lock): a single charge forcing a
+        # burst of evictions means a working set far over its share.
+        if evicted >= EVICTION_BURST:
+            from repro.obs.health import get_flight_recorder
+
+            get_flight_recorder().record(
+                "cache_evictions",
+                owner=owner,
+                evicted=evicted,
+                capacity=self.capacity,
+            )
 
     def release(self, owner: str, cost: float) -> None:
         """Return ``cost`` units (the owner evicted or dropped entries)."""
@@ -86,8 +104,14 @@ class CacheBudget:
 
     # -- eviction -------------------------------------------------------------
 
-    def _rebalance_locked(self) -> None:
-        """Evict from the largest owner until the total fits (or nothing frees)."""
+    def _rebalance_locked(self) -> int:
+        """Evict from the largest owner until the total fits (or nothing frees).
+
+        Returns the number of entries evicted by this call, so the caller
+        can flag eviction *bursts* (>= :data:`EVICTION_BURST` in one charge)
+        to the flight recorder once the lock is released.
+        """
+        evicted = 0
         while self.total > self.capacity:
             victim = max(self._usage, key=lambda o: self._usage[o])
             freed = 0.0
@@ -103,6 +127,8 @@ class CacheBudget:
                 continue
             self._usage[victim] = max(0.0, self._usage[victim] - freed)
             self._evictions[victim] = self._evictions.get(victim, 0) + 1
+            evicted += 1
+        return evicted
 
     # -- introspection --------------------------------------------------------
 

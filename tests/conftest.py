@@ -26,13 +26,22 @@ def _fresh_observability():
     span state cannot leak between tests and no test needs an ad-hoc
     ``reset()`` or private registry just for isolation.
     """
-    from repro.obs import MetricsRegistry, Tracer, set_registry, set_tracer
+    from repro.obs import (
+        FlightRecorder,
+        MetricsRegistry,
+        Tracer,
+        set_flight_recorder,
+        set_registry,
+        set_tracer,
+    )
 
     previous_registry = set_registry(MetricsRegistry())
     previous_tracer = set_tracer(Tracer())
+    previous_recorder = set_flight_recorder(FlightRecorder())
     yield
     set_registry(previous_registry)
     set_tracer(previous_tracer)
+    set_flight_recorder(previous_recorder)
 
 
 @pytest.fixture(scope="session")

@@ -53,9 +53,19 @@ class TestTraceCommand:
         ks = [e for e in events if e["name"] == "pasta.keystream"]
         assert all(e["args"]["modeled_cycles"] > 0 for e in ks)
 
+        # The uplink queue depth sampled by the pipeline rides along as a
+        # Perfetto counter track sharing the span epoch.
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert "service.uplink.depth" in {e["name"] for e in counters}
+        assert all(e["ts"] >= 0 for e in counters)
+
         prom = metrics_out.read_text()
         assert "# TYPE service_encrypt_seconds summary" in prom
         assert "service_frames_recovered_total 16" in prom
+        assert "service_uplink_depth_max" in prom
+        # The flight recorder renders even when the run had no incidents.
+        assert "repro_flight_events_dropped_total 0" in prom
+        assert "_total_total" not in prom
 
         out = capsys.readouterr().out
         assert "cycle attribution" in out
@@ -64,6 +74,33 @@ class TestTraceCommand:
     def test_trace_rejects_unknown_option(self, tmp_path, capsys):
         assert main(["trace", "--bogus", "1"]) == 2
         assert "unknown trace option" in capsys.readouterr().err
+
+
+class TestHealthCommand:
+    ARGS = ["--tenants", "2", "--sessions-per-tenant", "1", "--frames", "2"]
+
+    def test_clean_run_is_healthy(self, capsys):
+        assert main(["health", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "service health" in out
+        assert "tenant-00" in out and "tenant-01" in out
+        assert "overall: HEALTHY" in out
+
+    def test_json_report_and_out_file(self, tmp_path, capsys):
+        out_path = tmp_path / "health.json"
+        rc = main(["health", *self.ARGS, "--json", "--out", str(out_path)])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["healthy"] is True
+        assert [t["tenant"] for t in payload["tenants"]] == ["tenant-00", "tenant-01"]
+        assert all(t["ok"] for t in payload["tenants"])
+        assert payload["critical_events"] == 0
+        # --out writes the same report to disk for CI artifact upload.
+        assert json.loads(out_path.read_text()) == payload
+
+    def test_rejects_unknown_option(self, capsys):
+        assert main(["health", "--bogus", "1"]) == 2
+        assert "unknown health option" in capsys.readouterr().err
 
 
 class TestPerfgateCommand:

@@ -1,6 +1,7 @@
 """Tests for the repro.obs metrics layer."""
 
 import json
+import math
 import threading
 
 import pytest
@@ -81,8 +82,16 @@ class TestHistogram:
         assert len(h._samples) < 128
         assert h.percentile(50) == pytest.approx(n / 2, rel=0.25)
 
-    def test_empty_percentile(self):
-        assert Histogram("h").percentile(99) == 0.0
+    def test_empty_percentile_is_nan(self):
+        # Regression: an empty reservoir used to report 0.0, which reads
+        # as a real (instant) measurement to SLO windows and perfgate.
+        assert math.isnan(Histogram("h").percentile(99))
+
+    def test_empty_summary_is_nan_not_zero(self):
+        s = Histogram("h").summary()
+        assert s["count"] == 0 and s["sum"] == 0.0
+        for stat in ("mean", "min", "max", "p50", "p90", "p99"):
+            assert math.isnan(s[stat]), stat
 
     def test_invalid_percentile(self):
         with pytest.raises(ValueError):
@@ -196,6 +205,90 @@ class TestLabels:
         reg.gauge("x", lane="1")  # different label set: no clash
         with pytest.raises(TypeError):
             reg.histogram("x", lane="0")
+
+
+class TestCollect:
+    """Label-family enumeration used by the per-tenant SLO consumers."""
+
+    def test_collect_enumerates_every_label_set(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat.seconds", tenant="a").observe(0.1)
+        reg.histogram("lat.seconds", tenant="b").observe(0.2)
+        reg.histogram("lat.seconds").observe(0.3)
+        family = reg.collect("lat.seconds")
+        assert len(family) == 3
+        assert sorted(m.labels.get("tenant", "") for m in family) == ["", "a", "b"]
+
+    def test_collect_matches_base_name_only(self):
+        reg = MetricsRegistry()
+        reg.counter("frames", tenant="a").inc()
+        reg.counter("frames.lost", tenant="a").inc()
+        assert [m.name for m in reg.collect("frames")] == ["frames"]
+        assert reg.collect("nope") == []
+
+    def test_collect_spans_metric_kinds(self):
+        reg = MetricsRegistry()
+        reg.gauge("service.frames.lost").set(0)
+        reg.gauge("service.frames.lost", tenant="t0").set(2)
+        values = {m.labels.get("tenant"): m.value for m in reg.collect("service.frames.lost")}
+        assert values == {None: 0.0, "t0": 2.0}
+
+
+class TestPrometheusRoundTrip:
+    """Exposition renders every family exactly once with correct suffixes."""
+
+    def test_counter_total_suffix_not_doubled(self):
+        from repro.obs import prometheus_text
+
+        reg = MetricsRegistry()
+        reg.counter("service.frames.total").inc(3)
+        reg.counter("service.frames.sent").inc(2)
+        text = prometheus_text(reg)
+        assert "service_frames_total 3" in text
+        assert "service_frames_total_total" not in text
+        assert "service_frames_sent_total 2" in text
+        assert text.count("# TYPE service_frames_total counter") == 1
+
+    def test_gauge_renders_value_and_max_twin(self):
+        from repro.obs import prometheus_text
+
+        reg = MetricsRegistry()
+        g = reg.gauge("service.uplink.depth")
+        g.set(9)
+        g.set(4)
+        text = prometheus_text(reg)
+        assert "service_uplink_depth 4.0" in text
+        assert "service_uplink_depth_max 9.0" in text
+
+    def test_histogram_quantiles_and_moments(self):
+        from repro.obs import prometheus_text
+        from repro.obs.export import SUMMARY_QUANTILES
+
+        reg = MetricsRegistry()
+        h = reg.histogram("stage.seconds", tenant="a")
+        for v in range(1, 101):
+            h.observe(float(v))
+        text = prometheus_text(reg)
+        assert "# TYPE stage_seconds summary" in text
+        for q in SUMMARY_QUANTILES:
+            assert f'stage_seconds{{quantile="{q}",tenant="a"}}' in text
+        assert 'stage_seconds_sum{tenant="a"} 5050.0' in text
+        assert 'stage_seconds_count{tenant="a"} 100' in text
+
+    def test_flight_events_render_as_counters(self):
+        from repro.obs import FlightRecorder, prometheus_text
+
+        reg = MetricsRegistry()
+        recorder = FlightRecorder()
+        recorder.record("load_shed", tenant="a")
+        recorder.record("load_shed", tenant="b")
+        recorder.record("retry", severity="info")
+        text = prometheus_text(reg, recorder=recorder)
+        assert (
+            'repro_flight_events_total{kind="load_shed",severity="warning"} 2' in text
+        )
+        assert 'repro_flight_events_total{kind="retry",severity="info"} 1' in text
+        assert "repro_flight_events_dropped_total 0" in text
 
 
 class TestConcurrency:
