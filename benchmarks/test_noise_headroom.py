@@ -30,7 +30,16 @@ from repro.ff.params import P17, P33
 BENCH_JSON = Path(__file__).parent / "BENCH_noise_headroom.json"
 
 N = 256
-ENGINES = ("scalar", "tensor", "bsgs")
+#: label -> (server eval engine, hoisted flag). ``bsgs`` is the shipped
+#: default (hoisted baby rotations); ``bsgs_unhoisted`` pins the chained
+#: per-rotation keyswitch path so BOTH bsgs_affine growth rules stay under
+#: the soundness gate.
+ENGINES = {
+    "scalar": ("scalar", True),
+    "tensor": ("tensor", True),
+    "bsgs": ("bsgs", True),
+    "bsgs_unhoisted": ("bsgs", False),
+}
 
 #: Fraction of the total budget the deepest path may consume end-to-end.
 #: The absolute floor gate: over this ceiling the circuit is one bad
@@ -75,10 +84,11 @@ def test_noise_headroom_sound_and_positive(capsys):
 
         width = {"log2_q": log2_q, "budget_bits": scheme.noise_model.budget_bits,
                  "engines": {}}
-        for engine in ENGINES:
+        for engine, (eval_engine, hoisted) in ENGINES.items():
             server = BatchedHheServer(
                 pasta, scheme, rlk, encoder, enc_key,
-                engine=engine, galois_keys=gk if engine == "bsgs" else None,
+                engine=eval_engine, hoisted=hoisted,
+                galois_keys=gk if eval_engine == "bsgs" else None,
             )
             result = server.transcipher_blocks([block], nonce=9, counters=[0])
             assert decrypt_batched_result(scheme, sk, encoder, result) == [message], (

@@ -69,6 +69,10 @@ GATED_METRICS: Dict[str, Tuple[Tuple[str, str], ...]] = {
         ("engines.bsgs.blocks_per_s", "higher"),
         ("speedup_vs_tensor", "higher"),
     ),
+    "BENCH_hoisted_bsgs.json": (
+        ("engines.bsgs_hoisted.blocks_per_s", "higher"),
+        ("speedup_vs_unhoisted", "higher"),
+    ),
     "BENCH_obs_overhead.json": (
         ("overhead_pct", "floor:overhead_floor_pct"),
     ),

@@ -674,6 +674,46 @@ class Bfv:
         """Batched slot rotation (left by ``steps``) of every stacked ciphertext."""
         return self.tensor_apply_galois(state, rotation_element(self.params.n, steps), gk)
 
+    def hoisted_decompose(self, state: CiphertextTensor) -> np.ndarray:
+        """Digit-decompose a ciphertext stack's c1 once, for many rotations.
+
+        Returns the (B, D, L, N) eval-domain digit stack consumed by
+        :meth:`tensor_rotate_hoisted`. Every rotation applied from the same
+        stack pays only an automorphism permutation plus one key inner
+        product (Halevi-Shoup hoisting) instead of a full decomposition,
+        and adds a *single* keyswitch-noise term to the source estimate
+        (:meth:`repro.obs.noise.NoiseModel.hoisted_rotation`).
+        """
+        eng = self._tensor_engine()
+        if state.parts != 2:
+            raise ParameterError("hoisted decomposition expects 2-part ciphertext tensors")
+        return eng.hoisted_decompose(
+            state.data, self.params.relin_base, self.params.relin_parts
+        )
+
+    def tensor_rotate_hoisted(
+        self, state: CiphertextTensor, digits: np.ndarray, steps: int, gk: GaloisKey
+    ) -> CiphertextTensor:
+        """Rotate ``state`` by ``steps`` via its pre-hoisted digit stack.
+
+        ``digits`` must come from :meth:`hoisted_decompose` of the same
+        ``state``. Decrypts identically to :meth:`tensor_rotate` (the error
+        cross terms differ below the same bound, so residues are not
+        expected to match bit-for-bit — parity holds at the plaintext).
+        """
+        eng = self._tensor_engine()
+        params = self.params
+        g = rotation_element(params.n, steps)
+        if g == 1:
+            return CiphertextTensor(eng.ctx, np.array(state.data), noise=state.noise)
+        if state.parts != 2:
+            raise ParameterError("hoisted rotation expects 2-part ciphertext tensors")
+        out = eng.tensor_keyswitch_hoisted(
+            state.data, digits, g, self._galois_key_stacks(gk, g)
+        )
+        out.noise = self.noise_model.hoisted_rotation(state.noise)
+        return out
+
     def expect_correct(self, sk: SecretKey, ct: Ciphertext, expected: int) -> None:
         """Raise :class:`NoiseBudgetExhausted` if decryption mismatches."""
         got = self.decrypt(sk, ct)

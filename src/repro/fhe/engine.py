@@ -30,6 +30,7 @@ import numpy as np
 from repro.errors import ParameterError
 from repro.fhe.poly import Rq, negacyclic_mul_exact
 from repro.fhe.rns import (
+    ExactBaseDigits,
     ExactBaseLift,
     ExactRescaler,
     RnsContext,
@@ -237,6 +238,11 @@ class RnsEngine:
         else:
             self._tensor_lift = None
             self._tensor_rescale = None
+        #: Use the RNS-native int64 digit decomposition in relinearization /
+        #: keyswitching when the chain allows it. Public so benchmarks can
+        #: pin the object-dtype CRT round trip as a comparator.
+        self.exact_digits = True
+        self._digit_cache: dict = {}
 
     # -- representation ----------------------------------------------------------
 
@@ -437,26 +443,58 @@ class RnsEngine:
             np.array(a_stack, dtype=self.ctx.dtype),
         )
 
+    def _digit_decomposer(self, base: int, count: int) -> Optional[ExactBaseDigits]:
+        """Cached RNS-native digit transport, None when the chain can't host it."""
+        if not self.exact_digits or self.ctx.dtype is object:
+            return None
+        key = (base, count)
+        if key not in self._digit_cache:
+            decomposer = None
+            bits = base.bit_length() - 1
+            if base == 1 << bits:
+                try:
+                    decomposer = ExactBaseDigits(self.ctx, bits, count)
+                except ParameterError:
+                    decomposer = None
+            self._digit_cache[key] = decomposer
+        return self._digit_cache[key]
+
+    def _decompose_base_digits(self, component: np.ndarray, base: int, count: int) -> np.ndarray:
+        """(B, L, N) eval-domain parts -> (B, D, L, N) eval-domain digit stacks.
+
+        The shared front half of relinearization, keyswitching and hoisted
+        rotation. On int64 chains the base-T digits come straight from the
+        residue stacks (Garner digits + limb contraction, no object dtype);
+        the CRT big-int round trip remains as the object-chain fallback and
+        produces bit-identical digits (both decompose the canonical value).
+        """
+        coeff = self.ctx.inverse(component)
+        decomposer = self._digit_decomposer(base, count)
+        if decomposer is not None:
+            residues = decomposer.digits(coeff)
+        else:
+            remainder = self.ctx.from_rns_batch(coeff)  # (B, N) object
+            digit_mats = []
+            for _ in range(count):
+                digit = remainder % base
+                if base <= _DIGIT_INT64_MAX:
+                    digit = digit.astype(np.int64)
+                digit_mats.append(self.ctx.to_rns_batch(digit))
+                remainder = remainder // base
+            residues = np.stack(digit_mats, axis=1)
+        return self.ctx.forward(residues)  # (B, D, L, N)
+
     def tensor_relin(
         self, parts3: np.ndarray, base: int, count: int, key_stacks: tuple
     ) -> CiphertextTensor:
         """Batched base-T relinearization of (B, 3, L, N) eval-domain parts.
 
-        The digit decomposition runs through one CRT reconstruction of the
-        c2 stack; each base-T digit fits int64 (base = 2^62), so the digit
-        lifts and the weighted key contraction stay on the vectorized path.
+        The c2 stack is digit-decomposed on the RNS-native path (each base-T
+        digit fits int64 for base = 2^62), so the digit lifts and the
+        weighted key contraction stay on the vectorized path.
         """
         b_stack, a_stack = key_stacks
-        c2 = self.ctx.from_rns_batch(self.ctx.inverse(parts3[:, 2]))  # (B, N) object
-        digit_mats = []
-        remainder = c2
-        for _ in range(count):
-            digit = remainder % base
-            if base <= _DIGIT_INT64_MAX:
-                digit = digit.astype(np.int64)
-            digit_mats.append(self.ctx.to_rns_batch(digit))
-            remainder = remainder // base
-        digits = self.ctx.forward(np.stack(digit_mats, axis=1))  # (B, D, L, N)
+        digits = self._decompose_base_digits(parts3[:, 2], base, count)
         new0 = self.ctx.mod_add(parts3[:, 0], self.ctx.weighted_sum_mod(digits, b_stack))
         new1 = self.ctx.mod_add(parts3[:, 1], self.ctx.weighted_sum_mod(digits, a_stack))
         return CiphertextTensor(self.ctx, np.stack([new0, new1], axis=1))
@@ -487,18 +525,41 @@ class RnsEngine:
         pass-through c1 term).
         """
         b_stack, a_stack = key_stacks
-        c1 = self.ctx.from_rns_batch(self.ctx.inverse(parts2[:, 1]))  # (B, N) object
-        digit_mats = []
-        remainder = c1
-        for _ in range(count):
-            digit = remainder % base
-            if base <= _DIGIT_INT64_MAX:
-                digit = digit.astype(np.int64)
-            digit_mats.append(self.ctx.to_rns_batch(digit))
-            remainder = remainder // base
-        digits = self.ctx.forward(np.stack(digit_mats, axis=1))  # (B, D, L, N)
+        digits = self._decompose_base_digits(parts2[:, 1], base, count)
         new0 = self.ctx.mod_add(parts2[:, 0], self.ctx.weighted_sum_mod(digits, b_stack))
         new1 = self.ctx.weighted_sum_mod(digits, a_stack)
+        return CiphertextTensor(self.ctx, np.stack([new0, new1], axis=1))
+
+    def hoisted_decompose(self, parts2: np.ndarray, base: int, count: int) -> np.ndarray:
+        """Digit-decompose the c1 component once for reuse across rotations.
+
+        Returns the (B, D, L, N) eval-domain digit stack of ``parts2[:, 1]``
+        *before* any automorphism. tau_g is a ring automorphism, so
+        ``sum_i tau_g(d_i) T^i = tau_g(c1) mod q``: applying tau_g to the
+        digit stack (an eval-domain column permutation) and inner-producing
+        against rotation g's key stacks keyswitches tau_g(c1) exactly, and
+        each ``tau_g(d_i)`` keeps the < T magnitude bound, so per-rotation
+        keyswitch noise is unchanged (Halevi-Shoup hoisting).
+        """
+        return self._decompose_base_digits(parts2[:, 1], base, count)
+
+    def tensor_keyswitch_hoisted(
+        self, parts2: np.ndarray, digits: np.ndarray, element: int, key_stacks: tuple
+    ) -> CiphertextTensor:
+        """Rotate via a pre-hoisted digit stack: permute, then one inner product.
+
+        ``parts2`` and ``digits`` are both *unrotated* — tau_g is applied
+        here, to the c0 component and the digit stack, replacing the
+        per-rotation decomposition with a coefficient permutation.
+        """
+        from repro.fhe.galois import eval_permutation
+
+        b_stack, a_stack = key_stacks
+        perm = eval_permutation(self.ctx.n, element)
+        rotated = np.ascontiguousarray(digits[..., perm])
+        c0 = np.ascontiguousarray(parts2[:, 0][..., perm])
+        new0 = self.ctx.mod_add(c0, self.ctx.weighted_sum_mod(rotated, b_stack))
+        new1 = self.ctx.weighted_sum_mod(rotated, a_stack)
         return CiphertextTensor(self.ctx, np.stack([new0, new1], axis=1))
 
 

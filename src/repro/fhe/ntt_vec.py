@@ -14,6 +14,15 @@ reduced carry headroom, must fit in a signed 64-bit integer — true for the
 default ~30-bit chains). Chains with any wider prime (up to the 60-bit
 ``P60``) fall back to object-dtype numpy, which keeps the same vectorized
 shape with exact big-int elements.
+
+The int64 path uses *lazy reduction*: butterfly sums and differences are
+left unreduced across stages while the per-prime headroom bound holds
+(:func:`lazy_stage_budget`), so each stage pays one modular reduction (the
+twiddle product) instead of three. Deferred int64 arithmetic is exact and
+numpy's ``%`` is canonical on negative operands, so the outputs are
+bit-identical to the eager transform. Both transforms write a fresh output
+array — the caller's matrix is never copied up front (:meth:`VecNtt._check`
+only converts on dtype mismatch) and never mutated.
 """
 
 from __future__ import annotations
@@ -38,6 +47,27 @@ def butterfly_fits_int64(q: int) -> bool:
     return (q - 1) * (q - 1) + (q - 1) <= _INT64_MAX
 
 
+def lazy_stage_budget(q: int) -> int:
+    """Max magnitude multiplier a lazy butterfly may carry into a stage.
+
+    An unreduced value entering a stage is bounded by ``m * (q - 1)`` in
+    magnitude for some multiplier ``m``; the twiddle product then reaches
+    ``m * (q - 1)^2`` before its reduction. The largest safe ``m`` — with
+    one reduced addend of headroom, matching :func:`butterfly_fits_int64`
+    at ``m = 1`` — is::
+
+        budget(q) = (2^63 - 1 - (q - 1)) // (q - 1)^2
+
+    A forward (CT) stage grows the multiplier by one (it adds one reduced
+    twiddle product); an inverse (GS) stage doubles it (two unreduced
+    operands are summed). Whenever the multiplier would exceed the budget,
+    the whole matrix is reduced canonically and the count restarts at one.
+    ``budget(q) >= 1`` iff ``butterfly_fits_int64(q)``, so every int64
+    chain admits at least the eager schedule.
+    """
+    return (_INT64_MAX - (q - 1)) // ((q - 1) * (q - 1))
+
+
 class VecNtt:
     """Vectorized negacyclic NTT on ``(L, N)`` residue matrices.
 
@@ -45,6 +75,10 @@ class VecNtt:
     Cooley-Tukey / Gentleman-Sande stage in one numpy pass. Twiddle tables
     come from the cached scalar contexts (:func:`repro.fhe.ntt.get_ntt`),
     so the vectorized and scalar transforms are bit-identical per prime.
+
+    Inputs are residue matrices: every entry must be bounded by ``q_i`` in
+    magnitude (canonical residues always are), which anchors the lazy
+    multiplier bookkeeping at one on entry.
     """
 
     def __init__(self, n: int, primes: Sequence[int]):
@@ -60,6 +94,26 @@ class VecNtt:
         self._psis = np.array([c._psis for c in contexts], dtype=self.dtype)
         self._psis_inv = np.array([c._psis_inv for c in contexts], dtype=self.dtype)
         self._n_inv = np.array([c.n_inv for c in contexts], dtype=self.dtype).reshape(L, 1)
+        #: Per-prime lazy-stage predicate; the chain schedule uses the min.
+        self.lazy_budgets = tuple(lazy_stage_budget(q) for q in self.primes)
+        self._budget = min(self.lazy_budgets) if self.dtype is np.int64 else 1
+        # Per-stage twiddle views, precomputed once. Forward stage s has
+        # m = 2^s groups; stage 0's twiddle is a scalar per prime.
+        self._fwd_w0 = self._psis[:, 1:2]  # (L, 1)
+        fwd = []
+        m, t = 2, n // 4
+        while m < n:
+            fwd.append((m, t, self._psis[:, m : 2 * m].reshape(L, m, 1)))
+            m, t = m * 2, t // 2
+        self._fwd_stages = tuple(fwd)
+        # Inverse stage 0 pairs adjacent coefficients (t = 1, h = n/2).
+        self._inv_w0 = self._psis_inv[:, n // 2 : n]  # (L, n // 2)
+        inv = []
+        h, t = n // 4, 2
+        while h >= 1:
+            inv.append((h, t, self._psis_inv[:, h : 2 * h].reshape(L, h, 1)))
+            h, t = h // 2, t * 2
+        self._inv_stages = tuple(inv)
 
     def _check(self, mat: np.ndarray) -> np.ndarray:
         mat = np.asarray(mat)
@@ -68,6 +122,8 @@ class VecNtt:
                 f"expected a (..., {len(self.primes)}, {self.n}) residue matrix, "
                 f"got {mat.shape}"
             )
+        if mat.dtype == self.dtype:
+            return mat
         return np.array(mat, dtype=self.dtype)
 
     def forward(self, mat: np.ndarray) -> np.ndarray:
@@ -80,6 +136,35 @@ class VecNtt:
         a = self._check(mat)
         lead = a.shape[:-2]
         L, n = a.shape[-2:]
+        if self.dtype is object:
+            return self._forward_eager(np.array(a, dtype=object), lead, L, n)
+        out = np.empty(a.shape, dtype=np.int64)
+        budget = self._budget
+        # Stage 0 (m = 1) reads the caller's matrix and writes the fresh
+        # output; every later stage mutates the contiguous output in place.
+        half = n // 2
+        u = a[..., :half]
+        v = (a[..., half:] * self._fwd_w0) % self._q_col
+        out[..., :half] = u + v
+        out[..., half:] = u - v
+        mult = 2
+        for m, t, w in self._fwd_stages:
+            if mult > budget:
+                out %= self._q_col
+                mult = 1
+            view = out.reshape(lead + (L, m, 2, t))
+            u = view[..., 0, :]
+            v = (view[..., 1, :] * w) % self._q
+            total = u + v
+            diff = u - v
+            view[..., 0, :] = total
+            view[..., 1, :] = diff
+            mult += 1
+        if mult > 1:
+            out %= self._q_col
+        return out
+
+    def _forward_eager(self, a: np.ndarray, lead: tuple, L: int, n: int) -> np.ndarray:
         t, m = n, 1
         while m < n:
             t //= 2
@@ -102,6 +187,36 @@ class VecNtt:
         a = self._check(mat)
         lead = a.shape[:-2]
         L, n = a.shape[-2:]
+        if self.dtype is object:
+            return self._inverse_eager(np.array(a, dtype=object), lead, L, n)
+        out = np.empty(a.shape, dtype=np.int64)
+        budget = self._budget
+        # Stage 0 (t = 1) pairs adjacent coefficients: strided reads of the
+        # caller's matrix, writes into the fresh output.
+        u = a[..., 0::2]
+        v = a[..., 1::2]
+        total = u + v
+        diff = ((u - v) * self._inv_w0) % self._q_col
+        out[..., 0::2] = total
+        out[..., 1::2] = diff
+        mult = 2
+        for h, t, w in self._inv_stages:
+            if mult > budget:
+                out %= self._q_col
+                mult = 1
+            view = out.reshape(lead + (L, h, 2, t))
+            u = view[..., 0, :]
+            v = view[..., 1, :]
+            total = u + v
+            diff = ((u - v) * w) % self._q
+            view[..., 0, :] = total
+            view[..., 1, :] = diff
+            mult *= 2
+        if mult > budget:
+            out %= self._q_col
+        return (out * self._n_inv) % self._q_col
+
+    def _inverse_eager(self, a: np.ndarray, lead: tuple, L: int, n: int) -> np.ndarray:
         t, m = 1, n
         while m > 1:
             h = m // 2

@@ -387,6 +387,104 @@ class ExactBaseLift:
         return (acc - gt[..., None, :] * self._mod_src) % self._p_col
 
 
+class ExactBaseDigits:
+    """Base-``2^b`` digit decomposition of canonical values, no big ints.
+
+    The keyswitch path needs ``digit_i(x) = floor(x / T^i) mod T`` for the
+    canonical representative ``x in [0, q)`` of every coefficient, with
+    ``T = 2^base_bits``. The object-dtype engine reconstructs ``x`` with
+    big-int CRT first; this class produces the *same* digits entirely in
+    int64:
+
+    1. Garner mixed-radix digits ``v_j < q_j`` with
+       ``x = sum_j v_j Q_j`` exactly (``Q_j = prod_{i<j} q_i``), via the
+       cached :class:`MixedRadix`;
+    2. a chunked digit-weight contraction against the binary limbs of the
+       ``Q_j`` (limb width the largest divisor of ``base_bits`` <= 31, so
+       every ``v_j * limb`` product keeps int64 headroom), with a carry
+       ripple after each chunk bounding every partial limb below ``2^limb``;
+    3. limb recombination into base-``T`` digits (each < ``2^62``) and a
+       per-prime reduction back to residues.
+
+    Bit-exact with the reconstruct/divmod path: both decompose the same
+    canonical ``x``.
+    """
+
+    def __init__(self, ctx: RnsContext, base_bits: int, count: int):
+        self.ctx = ctx
+        self.radix = ctx.mixed_radix()  # validates the int64 chain
+        if base_bits < 1 or base_bits > 62:
+            raise ParameterError(f"base_bits must be in [1, 62], got {base_bits}")
+        if count * base_bits < ctx.modulus.bit_length():
+            raise ParameterError(
+                f"{count} base-2^{base_bits} digits cannot cover a "
+                f"{ctx.modulus.bit_length()}-bit modulus"
+            )
+        limb = max(d for d in range(1, 32) if base_bits % d == 0)
+        if limb < 8:
+            raise ParameterError(
+                f"base_bits={base_bits} has no limb width in [8, 31]"
+            )
+        self.base_bits = base_bits
+        self.count = count
+        self.limb_bits = limb
+        self.limbs_per_digit = base_bits // limb
+        self._n_limbs = count * self.limbs_per_digit
+        mask = (1 << limb) - 1
+        self._mask = mask
+        weights = np.zeros((len(ctx.primes), self._n_limbs), dtype=np.int64)
+        prefix = 1
+        for j, q in enumerate(ctx.primes):
+            v = prefix
+            for k in range(self._n_limbs):
+                weights[j, k] = v & mask
+                v >>= limb
+            prefix *= q
+        self._weights = weights  # (L, K): limb k of Q_j
+        # Chunk so that (partial limb) + chunk * (q-1) * mask plus the carry
+        # it spawns (< 2^(limb+1)) stays below int64; 2^(limb+2) of headroom
+        # covers limb + carry with margin.
+        qmax = max(ctx.primes)
+        self._chunk = max(1, (_INT64_MAX - (1 << (limb + 2))) // ((qmax - 1) * mask))
+
+    def _ripple(self, limbs: np.ndarray) -> None:
+        """Carry-propagate in place so every limb drops below ``2^limb_bits``.
+
+        The encoded partial value is < q <= 2^(K * limb_bits), so no carry
+        ever escapes the scratch limb at index K.
+        """
+        carry = None
+        for k in range(self._n_limbs + 1):
+            col = limbs[..., k, :]
+            if carry is not None:
+                col += carry
+            carry = col >> self.limb_bits
+            col &= self._mask
+        # carry out of the scratch limb is identically zero
+
+    def digits(self, mat: np.ndarray) -> np.ndarray:
+        """``(..., L, N)`` residues -> ``(..., D, L, N)`` base-``T`` digit residues."""
+        v = self.radix.digits(mat)  # (..., L, N), v[..., j, :] < q_j
+        lead = v.shape[:-2]
+        n = v.shape[-1]
+        K = self._n_limbs
+        limbs = np.zeros(lead + (K + 1, n), dtype=np.int64)
+        for start in range(0, len(self.ctx.primes), self._chunk):
+            stop = start + self._chunk
+            limbs[..., :K, :] += np.einsum(
+                "...ln,lk->...kn", v[..., start:stop, :], self._weights[start:stop]
+            )
+            self._ripple(limbs)
+        out = np.empty(lead + (self.count, n), dtype=np.int64)
+        lpd = self.limbs_per_digit
+        for d in range(self.count):
+            acc = limbs[..., d * lpd, :].copy()
+            for m in range(1, lpd):
+                acc += limbs[..., d * lpd + m, :] << (self.limb_bits * m)
+            out[..., d, :] = acc
+        return self.ctx.to_rns_batch(out)
+
+
 class ExactRescaler:
     """``round(num * x / q) mod q_l`` from extended-basis mixed-radix digits.
 

@@ -27,6 +27,7 @@ class BfvOpCounts:
     muls: int = 0
     relins: int = 0
     rotations: int = 0  #: Galois automorphism + key switch (BSGS engine only)
+    decompositions: int = 0  #: Hoisted digit decompositions shared by rotations
 
     def merge(self, other: "BfvOpCounts") -> "BfvOpCounts":
         """Field-wise in-place accumulation of ``other``; returns ``self``.

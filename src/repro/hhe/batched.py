@@ -105,6 +105,7 @@ class BatchedHheServer:
         galois_keys: Optional[GaloisKey] = None,
         tenant: str = "default",
         prepared_budget: Optional[CacheBudget] = None,
+        hoisted: bool = True,
     ):
         if scheme.params.p != params.p:
             raise ParameterError("BFV plaintext modulus must equal the PASTA prime")
@@ -159,6 +160,10 @@ class BatchedHheServer:
         #: ("scalar" | "tensor" | "bsgs"). Named ``eval_engine`` because
         #: ``engine`` is the keystream engine below.
         self.eval_engine = engine
+        #: Share one digit decomposition across the BSGS baby rotations
+        #: (Halevi-Shoup hoisting). ``False`` pins the per-rotation
+        #: keyswitch path — the perf baseline and the parity comparator.
+        self.hoisted = bool(hoisted)
         #: Shared batched keystream engine: materials and matrices for the
         #: public (nonce, counter) schedule come from its LRU, so serving
         #: the same stream twice never re-derives them.
@@ -275,17 +280,19 @@ class BatchedHheServer:
     def required_rotation_steps(params: PastaParams, ring_n: int) -> List[int]:
         """Left-rotation steps the packed BSGS evaluator key-switches by.
 
-        Baby steps advance one state group (``group``), Horner giant steps
-        advance ``bs`` groups, and the Feistel S-box shifts the squared
-        state one group *right* (``N/2 - group`` left). Steps whose factor
-        collapses to 1 for the parameter set are omitted.
+        Hoisted baby steps rotate the *source* directly by every multiple
+        ``k * group`` (k = 1..bs-1) of the state-group size — the unhoisted
+        chain only ever needed the single ``group`` step; Horner giant
+        steps advance ``bs`` groups, and the Feistel S-box shifts the
+        squared state one group *right* (``N/2 - group`` left). Steps whose
+        factor collapses to 1 for the parameter set are omitted, so bs = 2
+        parameter sets keep the exact pre-hoisting key schedule (and its
+        keygen draw order).
         """
         half = ring_n // 2
         group = half // params.t
         bs, giants = bsgs_split(params.t)
-        steps: List[int] = []
-        if bs > 1:
-            steps.append(group)
+        steps: List[int] = [k * group for k in range(1, bs)]
         if giants > 1:
             steps.append(bs * group)
         if params.rounds > 1:
@@ -529,6 +536,39 @@ class BatchedHheServer:
         ):
             return self.scheme.tensor_rotate(state, steps, self.galois_keys)
 
+    def _hoisted_decompose(self, state: CiphertextTensor):
+        """Digit-decompose the c1 halves once for a batch of rotations."""
+        from repro.obs import get_tracer
+        from repro.obs.cycles import modeled_decompose_attributes
+
+        self._ops.decompositions += state.slots
+        with get_tracer().span(
+            "hhe.hoist_decompose",
+            metric="hhe.hoist_decompose.seconds",
+            engine="bsgs_hoisted",
+            **modeled_decompose_attributes(self.params, state.slots),
+        ):
+            return self.scheme.hoisted_decompose(state)
+
+    def _rotate_hoisted(
+        self, state: CiphertextTensor, digits: np.ndarray, steps: int
+    ) -> CiphertextTensor:
+        """Rotate via a shared digit stack (apply half of a hoisted rotation)."""
+        from repro.obs import get_tracer
+        from repro.obs.cycles import modeled_hoisted_apply_attributes
+
+        self._ops.rotations += state.slots
+        with get_tracer().span(
+            "hhe.rotate",
+            metric="hhe.rotate.seconds",
+            engine="bsgs_hoisted",
+            steps=steps,
+            **modeled_hoisted_apply_attributes(self.params, state.slots),
+        ):
+            return self.scheme.tensor_rotate_hoisted(
+                state, digits, steps, self.galois_keys
+            )
+
     def _bsgs_affine_pair(
         self, state: CiphertextTensor, nonce: int, counters: Tuple[int, ...], layer: int
     ) -> CiphertextTensor:
@@ -545,10 +585,14 @@ class BatchedHheServer:
 
             out = sum_g rot(g*bs*B, sum_i prep_diag[g, i] . baby_i)
 
-        The bs babies are a rotation *chain* (one key element), the inner
-        sums are ONE prepared-matrix einsum per side, and each Horner step
-        is one rotation of the [L, R] accumulator pair. Total per side:
-        bs*G (= t) plain muls, bs*G - 1 adds, (bs-1)+(G-1) rotations.
+        The bs babies share ONE digit decomposition of the source pair
+        (Halevi-Shoup hoisting; each baby rotates the original state by
+        ``i*B`` through the shared digit stack), the inner sums are ONE
+        prepared-matrix einsum per side, and each Horner step is one
+        regular rotation of the fresh [L, R] accumulator pair. Total per
+        side: bs*G (= t) plain muls, bs*G - 1 adds, (bs-1)+(G-1)
+        rotations, plus one decomposition when hoisted and bs > 1. With
+        ``hoisted=False`` the babies fall back to the rotation chain.
         """
         bs, giants = self._bsgs
         B = self._group_size
@@ -561,10 +605,16 @@ class BatchedHheServer:
         self._ops.plain_muls += 2 * bs * giants
         self._ops.adds += 2 * (giants * bs - 1)
         self._ops.plain_adds += 2
+        use_hoisted = self.hoisted and bs > 1
         with self._affine_span("bsgs", layer, "lr", 2 * len(counters)):
             babies = [state]
-            for _ in range(bs - 1):
-                babies.append(self._rotate_stack(babies[-1], B))
+            if use_hoisted:
+                digits = self._hoisted_decompose(state)
+                for i in range(1, bs):
+                    babies.append(self._rotate_hoisted(state, digits, i * B))
+            else:
+                for _ in range(bs - 1):
+                    babies.append(self._rotate_stack(babies[-1], B))
             giant_sums = [
                 eng.ctx.matmul_mod(
                     prep[side], np.stack([b.data[s_idx] for b in babies])
@@ -584,7 +634,7 @@ class BatchedHheServer:
             # The raw matmul_mod contractions above bypass the Bfv wrappers,
             # so the ledger gets the layer's closed-form bound in one step.
             out.noise = self.scheme.noise_model.bsgs_affine(
-                state.noise, bs, giants, round_constant=True
+                state.noise, bs, giants, round_constant=True, hoisted=use_hoisted
             )
             return out
 

@@ -63,6 +63,23 @@ def rotate_stage_cycles(t: int) -> int:
     return MUL_LATENCY + t + adder_tree_depth(t)
 
 
+def rotate_decompose_cycles(t: int) -> int:
+    """Digit-decomposition half of a hoisted rotation: the t-cycle row stream.
+
+    Halevi-Shoup hoisting splits Rotate+KeySwitch into a decomposition that
+    streams the t-element row once (shared by every rotation of the batch)
+    and a per-rotation apply. The split is exact:
+    ``rotate_decompose_cycles(t) + rotate_apply_cycles(t) ==
+    rotate_stage_cycles(t)``.
+    """
+    return t
+
+
+def rotate_apply_cycles(t: int) -> int:
+    """Per-rotation apply half of a hoisted rotation: multiplier pass + fold."""
+    return MUL_LATENCY + adder_tree_depth(t)
+
+
 def feistel_cycles() -> int:
     """Feistel S-box: one (pipelined) multiplication batch + one addition."""
     return MUL_LATENCY + 1

@@ -159,6 +159,41 @@ def simulate_block(
     return keystream, report
 
 
+def simulate_hoisted_affine(params: PastaParams) -> Tuple[List[PhaseWindow], int]:
+    """Rotation schedule of one BSGS affine layer side with hoisting.
+
+    Extension beyond the paper's datapath (like
+    :func:`repro.hw.arith_units.rotate_stage_cycles`): the bs - 1 baby
+    rotations share ONE ``KeySwitch(Decompose)`` window — the t-cycle row
+    stream over the source digits — and each pays only the
+    ``Rotate(Apply)`` multiplier pass + adder-tree fold. The G - 1 Horner
+    giant steps rotate fresh accumulators, so they remain full
+    ``Rotate+KeySwitch`` stages. Returns the serialized key-switch unit
+    windows and the total cycles; per rotation the decompose/apply split
+    reconstitutes the unhoisted stage exactly, so hoisting saves
+    ``(bs - 2) * t`` cycles per side once bs > 2.
+    """
+    from repro.pasta.decrypt_circuit import bsgs_split
+
+    t = params.t
+    bs, giants = bsgs_split(t)
+    windows: List[PhaseWindow] = []
+    clock = 0
+    if bs > 1:
+        end = clock + au.rotate_decompose_cycles(t)
+        windows.append(PhaseWindow("KeySwitch(Decompose)", 0, clock, end))
+        clock = end
+        for _ in range(bs - 1):
+            end = clock + au.rotate_apply_cycles(t)
+            windows.append(PhaseWindow("Rotate(Apply)", 0, clock, end))
+            clock = end
+    for _ in range(giants - 1):
+        end = clock + au.rotate_stage_cycles(t)
+        windows.append(PhaseWindow("Rotate+KeySwitch", 0, clock, end))
+        clock = end
+    return windows, clock
+
+
 def paper_cycle_model(params: PastaParams, permutations: int) -> int:
     """The closed-form cycle count of paper Sec. IV-B.
 

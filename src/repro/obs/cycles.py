@@ -40,6 +40,10 @@ __all__ = [
     "modeled_matmul_attributes",
     "modeled_rotation_cycles",
     "modeled_rotation_attributes",
+    "modeled_decompose_cycles",
+    "modeled_decompose_attributes",
+    "modeled_hoisted_apply_cycles",
+    "modeled_hoisted_apply_attributes",
     "StageAttribution",
     "AttributionReport",
     "attribute",
@@ -140,6 +144,53 @@ def modeled_rotation_attributes(params, n_rotations: int) -> Dict[str, object]:
         "modeled_cycles_per_rotation": per_rotation,
         "modeled_rotations": n_rotations,
         "modeled_stage": "Rotate+KeySwitch",
+    }
+
+
+def modeled_decompose_cycles(params) -> int:
+    """Accelerator cycles for one hoisted digit decomposition: ``t``.
+
+    The row-stream half of Rotate+KeySwitch, paid once per batch of hoisted
+    rotations (see :func:`repro.hw.arith_units.rotate_decompose_cycles`).
+    """
+    from repro.hw.arith_units import rotate_decompose_cycles
+
+    return rotate_decompose_cycles(params.t)
+
+
+def modeled_decompose_attributes(params, n_decompositions: int) -> Dict[str, object]:
+    """Span attributes for ``n_decompositions`` hoisted digit decompositions."""
+    per_decompose = modeled_decompose_cycles(params)
+    return {
+        CYCLES_ATTR: per_decompose * n_decompositions,
+        "modeled_cycles_per_decompose": per_decompose,
+        "modeled_decompositions": n_decompositions,
+        "modeled_stage": "KeySwitch(Decompose)",
+    }
+
+
+def modeled_hoisted_apply_cycles(params) -> int:
+    """Accelerator cycles for one hoisted rotation apply: ``3 + log2 t``.
+
+    The per-rotation half after hoisting: automorphism wiring plus the
+    multiplier pass and adder-tree fold of the pre-decomposed digit stack
+    (see :func:`repro.hw.arith_units.rotate_apply_cycles`). Together with
+    :func:`modeled_decompose_cycles` it reconstitutes the unhoisted
+    Rotate+KeySwitch stage exactly.
+    """
+    from repro.hw.arith_units import rotate_apply_cycles
+
+    return rotate_apply_cycles(params.t)
+
+
+def modeled_hoisted_apply_attributes(params, n_rotations: int) -> Dict[str, object]:
+    """Span attributes for ``n_rotations`` hoisted rotation applies."""
+    per_rotation = modeled_hoisted_apply_cycles(params)
+    return {
+        CYCLES_ATTR: per_rotation * n_rotations,
+        "modeled_cycles_per_rotation": per_rotation,
+        "modeled_rotations": n_rotations,
+        "modeled_stage": "Rotate(Apply)",
     }
 
 

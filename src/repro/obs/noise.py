@@ -38,6 +38,9 @@ affine (t-term row sum)   ``t * (N*p/2)(V + p) + p``
 multiply (tensor)         ``N(N+4)p(V1+V2) + 2N(N+4)p^2 + pN*V1*V2/q + N^2``
 relin / keyswitch         ``V + D*N*T*eta``    (D digits of T = 2^base bits)
 rotate (Galois + switch)  ``V + D*N*T*eta``    (automorphism preserves |v|)
+hoisted_rotation          ``V + D*N*T*eta``    (one keyswitch term per shared
+                          decomposition: every rotation hoisted from the same
+                          digit stack switches the *source*, not a chain)
 bsgs_affine               babies -> diagonal sums -> Horner rotations, composed
 ========================  =====================================================
 """
@@ -226,20 +229,41 @@ class NoiseModel:
         """Galois automorphism (norm-preserving) + key switch."""
         return self.keyswitch(a)
 
+    def hoisted_rotation(self, a: Optional[NoiseEstimate]) -> Optional[NoiseEstimate]:
+        """Rotation through a shared hoisted decomposition of the source.
+
+        Every rotation applied from one hoisted digit stack keyswitches the
+        *source* ciphertext directly: ``tau_g`` keeps each digit below the
+        base-T magnitude bound, so the output carries exactly one
+        keyswitch-noise term over the source — however many rotations share
+        the decomposition — instead of the chain accumulation of repeated
+        :meth:`rotate` calls.
+        """
+        return self.keyswitch(a)
+
     def bsgs_affine(
-        self, a: Optional[NoiseEstimate], bs: int, giants: int, round_constant: bool = True
+        self,
+        a: Optional[NoiseEstimate],
+        bs: int,
+        giants: int,
+        round_constant: bool = True,
+        hoisted: bool = False,
     ) -> Optional[NoiseEstimate]:
         """Baby-step/giant-step diagonal sum: the packed affine layer.
 
-        Babies accumulate up to ``bs - 1`` key-switch errors; every giant
-        sums ``bs`` diagonal plain-muls of the worst baby; the Horner
-        recombination adds ``giants - 1`` more rotations of partial sums.
+        Babies accumulate up to ``bs - 1`` key-switch errors (a single one
+        when ``hoisted`` — every baby rotates the source through one shared
+        decomposition); every giant sums ``bs`` diagonal plain-muls of the
+        worst baby; the Horner recombination adds ``giants - 1`` more
+        rotations of partial sums (always unhoisted: each acts on a fresh
+        accumulator).
         """
         if a is None:
             return None
         baby_bits = a.bits
         if bs > 1:
-            baby_bits = lse(a.bits, self.ks_bits + math.log2(bs - 1))
+            extra = 0.0 if hoisted else math.log2(bs - 1)
+            baby_bits = lse(a.bits, self.ks_bits + extra)
         bits = math.log2(max(giants * bs, 1)) + self._mul_plain_poly_bits(baby_bits)
         if giants > 1:
             bits = lse(bits, self.ks_bits + math.log2(giants - 1))

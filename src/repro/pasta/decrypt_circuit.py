@@ -139,6 +139,11 @@ def homomorphic_op_counts(params: PastaParams, engine: str = "slots") -> dict:
     * cube: 2 squares, 2 muls, 4 relins
     * final ``c - KS``: 1 packed plain add
 
+    ``engine="bsgs_hoisted"`` — same circuit with Halevi-Shoup hoisting in
+    the affine baby steps: every count matches ``"bsgs"`` (the bs-1 baby
+    rotations still key-switch, just through a shared digit stack) plus one
+    ``decompositions`` per affine side when bs > 1.
+
     The O(t^2) -> O(t) plain-mul and O(sqrt t) rotation scaling per layer
     side is the point of ROADMAP item 3. The benchmark and the parity tests
     assert real runs hit these exactly.
@@ -156,10 +161,12 @@ def homomorphic_op_counts(params: PastaParams, engine: str = "slots") -> dict:
             "relins": feistel + 2 * t + 2 * t,
             "rotations": 0,
         }
-    if engine != "bsgs":
-        raise ParameterError(f"unknown op-count engine {engine!r} ('slots' or 'bsgs')")
+    if engine not in ("bsgs", "bsgs_hoisted"):
+        raise ParameterError(
+            f"unknown op-count engine {engine!r} ('slots', 'bsgs' or 'bsgs_hoisted')"
+        )
     bs, giants = bsgs_split(t)
-    return {
+    counts = {
         "plain_muls": sides * bs * giants + 3 * (r - 1),
         "plain_adds": sides + 1,
         "adds": sides * (bs * giants - 1) + 3 * (r + 1) + 3 * (r - 1),
@@ -168,6 +175,9 @@ def homomorphic_op_counts(params: PastaParams, engine: str = "slots") -> dict:
         "relins": 2 * (r - 1) + 4,
         "rotations": sides * ((bs - 1) + (giants - 1)) + 2 * (r - 1),
     }
+    if engine == "bsgs_hoisted":
+        counts["decompositions"] = sides if bs > 1 else 0
+    return counts
 
 
 class KeystreamCircuit:

@@ -166,3 +166,102 @@ class TestRotationOnCiphertexts:
         ct = scheme.encrypt_poly(pk, list(encoder.encode([0] * N)))
         with pytest.raises(ParameterError, match="element"):
             scheme.rotate_slots(ct, 2, gk)
+
+
+class TestHoistedRotation:
+    """Halevi-Shoup hoisting: shared decomposition, same decrypted plaintext.
+
+    Hoisted and unhoisted rotations carry different keyswitch error cross
+    terms, so residues are NOT expected to match bit-for-bit — parity is
+    asserted where it is guaranteed: at the decrypted plaintext, under the
+    same noise bound, at both prime widths.
+    """
+
+    @given(
+        bits=st.sampled_from([17, 33]),
+        steps=st.integers(min_value=1, max_value=HALF - 1),
+        data=st.data(),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_hoisted_decrypts_like_unhoisted(self, servers, bits, steps, data):
+        scheme, sk, pk, encoder = servers[bits]
+        p = encoder.p
+        logical = np.array(
+            data.draw(st.lists(st.integers(min_value=0, max_value=p - 1), min_size=HALF, max_size=HALF))
+        )
+        gk = scheme.rotation_keygen(sk, [steps])
+        pt = encoder.encode(replicate_rows_to_slots(N, logical.reshape(1, HALF)).reshape(N))
+        stack = scheme.stack_ciphertexts([scheme.encrypt_poly(pk, list(pt))])
+        digits = scheme.hoisted_decompose(stack)
+        hoisted = scheme.tensor_rotate_hoisted(stack, digits, steps, gk)
+        regular = scheme.tensor_rotate(stack, steps, gk)
+        dec = lambda t: slots_to_logical(
+            N, encoder.decode(scheme.decrypt_poly(sk, scheme.unstack_ciphertexts(t)[0]))
+        )
+        expected = [int(x) for x in np.roll(logical, -steps)]
+        assert dec(hoisted) == dec(regular) == expected
+        for ct in scheme.unstack_ciphertexts(hoisted):
+            assert scheme.noise_budget_bits(sk, ct) > 0
+
+    def test_many_rotations_share_one_decomposition(self, servers):
+        scheme, sk, pk, encoder = servers[17]
+        p = encoder.p
+        logical = (np.arange(HALF) * 5 + 3) % p
+        steps = [1, 2, 7]
+        gk = scheme.rotation_keygen(sk, steps)
+        pt = encoder.encode(replicate_rows_to_slots(N, logical.reshape(1, HALF)).reshape(N))
+        stack = scheme.stack_ciphertexts([scheme.encrypt_poly(pk, list(pt))])
+        digits = scheme.hoisted_decompose(stack)
+        for s in steps:
+            out = scheme.tensor_rotate_hoisted(stack, digits, s, gk)
+            dec = slots_to_logical(
+                N, encoder.decode(scheme.decrypt_poly(sk, scheme.unstack_ciphertexts(out)[0]))
+            )
+            assert dec == [int(x) for x in np.roll(logical, -s)]
+
+    def test_keyswitch_path_is_int64_exact(self, servers):
+        """No object-dtype bigint round trip in the int64-eligible chain.
+
+        The RNS-native digit decomposition must be active (the engine's
+        exact-digit decomposer resolves) and the keyswitch must run without
+        EVER calling the CRT recombiner ``from_rns_batch`` — the pre-fix
+        bigint round trip. The decomposed digit stack itself stays int64.
+        """
+        scheme, sk, pk, encoder = servers[17]
+        eng = scheme.engine
+        base, count = scheme.params.relin_base, scheme.params.relin_parts
+        assert eng.exact_digits
+        assert eng._digit_decomposer(base, count) is not None
+
+        gk = scheme.rotation_keygen(sk, [3])
+        pt = encoder.encode([1] * N)
+        stack = scheme.stack_ciphertexts([scheme.encrypt_poly(pk, list(pt))])
+        digits = scheme.hoisted_decompose(stack)
+        assert digits.dtype == np.int64
+
+        def boom(*a, **kw):
+            raise AssertionError("object-dtype CRT recombination in keyswitch path")
+
+        original = eng.ctx.from_rns_batch
+        eng.ctx.from_rns_batch = boom
+        try:
+            scheme.tensor_rotate(stack, 3, gk)
+            scheme.tensor_rotate_hoisted(stack, digits, 3, gk)
+        finally:
+            eng.ctx.from_rns_batch = original
+
+    def test_exact_digits_matches_bigint_digits_bitwise(self, servers):
+        """The int64 digit path and the object divmod path agree on residues."""
+        scheme, sk, pk, encoder = servers[33]
+        eng = scheme.engine
+        gk = scheme.rotation_keygen(sk, [4])
+        pt = encoder.encode(list(range(1, N + 1)))
+        stack = scheme.stack_ciphertexts([scheme.encrypt_poly(pk, list(pt))])
+        assert eng.exact_digits
+        exact = scheme.tensor_rotate(stack, 4, gk)
+        eng.exact_digits = False
+        try:
+            bigint = scheme.tensor_rotate(stack, 4, gk)
+        finally:
+            eng.exact_digits = True
+        assert np.array_equal(exact.data, bigint.data)

@@ -198,6 +198,24 @@ class TestTensorOps:
         for ct in scheme.unstack_ciphertexts(out):
             assert_sound(scheme, sk, ct)
 
+    @pytest.mark.parametrize("p", [P17, P33], ids=["p17", "p33"])
+    @settings(max_examples=10)
+    @given(a=st.integers(0, 2**16), steps=st.integers(1, 3))
+    def test_hoisted_rotate(self, p, a, steps):
+        """The hoisted_rotation growth rule never claims budget the shared-
+        decomposition rotation doesn't measurably have."""
+        scheme, sk, pk, _ = scheme_for(p, "rns")
+        encoder = BatchEncoder(N, p)
+        gk = scheme.rotation_keygen(sk, [steps])
+        stack = scheme.stack_ciphertexts(
+            [scheme.encrypt_poly(pk, encoder.constant(a % p))]
+        )
+        digits = scheme.hoisted_decompose(stack)
+        out = scheme.tensor_rotate_hoisted(stack, digits, steps, gk)
+        assert out.noise is not None
+        for ct in scheme.unstack_ciphertexts(out):
+            assert_sound(scheme, sk, ct)
+
 
 class TestNonePropagation:
     def test_handbuilt_ciphertext_stays_unannotated(self):
@@ -234,6 +252,27 @@ class TestModelShape:
         assert model.fresh().bits == pytest.approx(
             math.log2(params.eta) + math.log2(2 * N + 1)
         )
+
+    def test_hoisted_rotation_is_one_keyswitch_term(self):
+        model = NoiseModel(toy_parameters(P17, n=N, log2_q=LOG2_Q))
+        est = model.fresh()
+        assert model.hoisted_rotation(est).bits == pytest.approx(
+            model.keyswitch(est).bits
+        )
+
+    def test_hoisted_bsgs_affine_never_exceeds_unhoisted(self):
+        model = NoiseModel(toy_parameters(P17, n=N, log2_q=LOG2_Q))
+        est = model.fresh()
+        for t in (2, 4, 16, 64):
+            from repro.pasta import bsgs_split
+
+            bs, giants = bsgs_split(t)
+            plain = model.bsgs_affine(est, bs, giants)
+            hoist = model.bsgs_affine(est, bs, giants, hoisted=True)
+            assert hoist.bits <= plain.bits + 1e-12
+            if bs > 2:
+                # The baby chain's log2(bs-1) accumulation term is gone.
+                assert hoist.bits < plain.bits
 
 
 class TestDivergenceReport:

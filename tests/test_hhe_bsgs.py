@@ -66,7 +66,7 @@ def quad():
     return _setup(QUAD)
 
 
-def _transcipher(pasta, rig, engine, messages, nonce, gk=None):
+def _transcipher(pasta, rig, engine, messages, nonce, gk=None, hoisted=True):
     scheme, sk, rlk, galois, encoder, key, enc_key = rig
     cipher = Pasta(pasta, key)
     blocks = [
@@ -76,6 +76,7 @@ def _transcipher(pasta, rig, engine, messages, nonce, gk=None):
     server = BatchedHheServer(
         pasta, scheme, rlk, encoder, enc_key,
         engine=engine, galois_keys=galois if engine == "bsgs" else gk,
+        hoisted=hoisted,
     )
     result = server.transcipher_blocks(
         blocks, nonce=nonce, counters=list(range(len(messages)))
@@ -143,6 +144,97 @@ class TestBsgsVsTensor:
         assert via_bsgs == via_tensor == messages
         assert result.group_size == HALF // QUAD.t
         assert len(result.ciphertexts) == 1
+
+
+class TestHoistedBsgs:
+    """Hoisted baby steps: same decrypted keystream, one shared decomposition.
+
+    Hoisted rotations decrypt identically but are NOT residue-identical to
+    the unhoisted chain (different keyswitch error cross terms), so parity
+    is asserted on decrypted messages — the same guarantee the BSGS-vs-
+    tensor tests pin.
+    """
+
+    @given(data=st.data())
+    @settings(max_examples=6, deadline=None)
+    def test_hoisted_vs_unhoisted_parity_17_bit(self, micro, data):
+        p = PASTA_MICRO.p
+        messages = [
+            data.draw(st.lists(st.integers(min_value=0, max_value=p - 1),
+                               min_size=PASTA_MICRO.t, max_size=PASTA_MICRO.t))
+            for _ in range(data.draw(st.integers(min_value=1, max_value=3)))
+        ]
+        nonce = data.draw(st.integers(min_value=1, max_value=2**30))
+        _, _, unhoisted = _transcipher(
+            PASTA_MICRO, micro, "bsgs", messages, nonce, hoisted=False
+        )
+        _, _, hoisted = _transcipher(PASTA_MICRO, micro, "bsgs", messages, nonce)
+        assert hoisted == unhoisted == messages
+
+    @given(data=st.data())
+    @settings(max_examples=3, deadline=None)
+    def test_hoisted_vs_unhoisted_parity_33_bit(self, micro_33, data):
+        p = MICRO_33.p
+        messages = [
+            data.draw(st.lists(st.integers(min_value=0, max_value=p - 1),
+                               min_size=MICRO_33.t, max_size=MICRO_33.t))
+        ]
+        nonce = data.draw(st.integers(min_value=1, max_value=2**30))
+        _, _, unhoisted = _transcipher(
+            MICRO_33, micro_33, "bsgs", messages, nonce, hoisted=False
+        )
+        _, _, hoisted = _transcipher(MICRO_33, micro_33, "bsgs", messages, nonce)
+        assert hoisted == unhoisted == messages
+
+    def test_giant_step_hoisted_parity(self, quad):
+        messages = [[(13 * b + j) % QUAD.p for j in range(QUAD.t)] for b in range(2)]
+        _, _, unhoisted = _transcipher(QUAD, quad, "bsgs", messages, 42, hoisted=False)
+        _, _, hoisted = _transcipher(QUAD, quad, "bsgs", messages, 42)
+        assert hoisted == unhoisted == messages
+
+    def test_hoisted_run_matches_closed_form(self, micro):
+        server, result, _ = _transcipher(PASTA_MICRO, micro, "bsgs", [[7, 9], [3, 4]], 5)
+        expected = homomorphic_op_counts(PASTA_MICRO, engine="bsgs_hoisted")
+        measured = {k: getattr(result.ops, k) for k in expected}
+        assert measured == expected
+        assert expected["decompositions"] == 2 * (PASTA_MICRO.rounds + 1)
+
+    def test_giant_step_hoisted_run_matches_closed_form(self, quad):
+        server, result, _ = _transcipher(QUAD, quad, "bsgs", [[1, 2, 3, 4]], 5)
+        expected = homomorphic_op_counts(QUAD, engine="bsgs_hoisted")
+        measured = {k: getattr(result.ops, k) for k in expected}
+        assert measured == expected
+
+    def test_unhoisted_run_reports_zero_decompositions(self, micro):
+        _, result, _ = _transcipher(
+            PASTA_MICRO, micro, "bsgs", [[7, 9]], 5, hoisted=False
+        )
+        assert result.ops.decompositions == 0
+        expected = homomorphic_op_counts(PASTA_MICRO, engine="bsgs")
+        measured = {k: getattr(result.ops, k) for k in expected}
+        assert measured == expected
+
+    @given(t=st.sampled_from([2, 4, 16, 64]), rounds=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=8, deadline=None)
+    def test_hoisted_formula_only_adds_decompositions(self, t, rounds):
+        params = PastaParams(name="x", t=t, rounds=rounds, p=PASTA_MICRO.p, secure=False)
+        plain = homomorphic_op_counts(params, engine="bsgs")
+        hoist = homomorphic_op_counts(params, engine="bsgs_hoisted")
+        bs, _ = bsgs_split(t)
+        assert hoist.pop("decompositions") == (2 * (rounds + 1) if bs > 1 else 0)
+        assert hoist == plain  # rotation totals unchanged by hoisting
+
+    def test_hoisted_superset_of_rotation_steps(self):
+        # t=16 -> bs=4: hoisted babies rotate the source directly by every
+        # k*B, so the key schedule must cover 2B and 3B too.
+        wide = PastaParams(name="x16", t=16, rounds=2, p=PASTA_MICRO.p, secure=False)
+        steps = BatchedHheServer.required_rotation_steps(wide, N)
+        B = HALF // wide.t
+        bs, giants = bsgs_split(wide.t)
+        assert bs == 4
+        expected = {k * B for k in range(1, bs)} | {bs * B, HALF - B}
+        assert set(steps) == expected
+        assert steps == sorted(expected)
 
 
 class TestOpCounts:

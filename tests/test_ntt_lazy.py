@@ -1,0 +1,169 @@
+"""Lazy-reduction guarantees of the vectorized NTT (repro.fhe.ntt_vec).
+
+The int64 fast path defers butterfly reductions across stages inside the
+:func:`lazy_stage_budget` headroom. These tests pin the three properties
+the optimization must not trade away: bit-exactness against the eager
+per-prime scalar transform, the no-copy ``_check`` contract the keyswitch
+hot path relies on, and non-mutation of caller inputs (the RNS engine
+feeds *cached* coefficient matrices into ``forward``).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.fhe.ntt import get_ntt
+from repro.fhe.ntt_vec import (
+    VecNtt,
+    butterfly_fits_int64,
+    lazy_stage_budget,
+)
+from repro.fhe.rns import ntt_prime_chain
+
+N = 64
+
+#: A deliberately mixed chain: a tiny prime (huge lazy budget) next to a
+#: ~30-bit prime (budget 7), so the chain schedule exercises the min.
+CHAIN = ntt_prime_chain(N, min_bits=90, prime_bits=30)
+WIDE_CHAIN = ntt_prime_chain(N, min_bits=120, prime_bits=60)  # object dtype
+
+
+def _random_residues(rng, primes, shape_lead=()):
+    mats = [rng.integers(0, q, size=N, dtype=np.int64) for q in primes]
+    mat = np.stack(mats)
+    if shape_lead:
+        mat = np.broadcast_to(mat, shape_lead + mat.shape).copy()
+    return mat
+
+
+class TestBudgetFormula:
+    @given(bits=st.integers(min_value=12, max_value=31))
+    @settings(max_examples=24, deadline=None)
+    def test_budget_matches_closed_form(self, bits):
+        (q,) = ntt_prime_chain(N, min_bits=2, prime_bits=bits)
+        assert lazy_stage_budget(q) == ((1 << 63) - 1 - (q - 1)) // ((q - 1) ** 2)
+
+    def test_budget_positive_iff_butterfly_fits(self):
+        for q in CHAIN + WIDE_CHAIN:
+            assert (lazy_stage_budget(q) >= 1) == butterfly_fits_int64(q)
+
+    def test_chain_budget_is_min_over_primes(self):
+        ntt = VecNtt(N, CHAIN)
+        assert ntt.lazy_budgets == tuple(lazy_stage_budget(q) for q in CHAIN)
+        assert ntt._budget == min(ntt.lazy_budgets)
+        # The mixed chain must actually defer: some stage skips a reduce.
+        assert ntt._budget >= 1
+
+    def test_small_primes_get_large_budgets(self):
+        # A ~30-bit prime keeps a one-digit budget; a 17-bit one defers the
+        # whole transform (budget >> log2 N).
+        (q30,) = ntt_prime_chain(N, min_bits=2, prime_bits=30)
+        (q17,) = ntt_prime_chain(N, min_bits=2, prime_bits=17)
+        assert 1 <= lazy_stage_budget(q30) < 16
+        assert lazy_stage_budget(q17) > N
+
+
+class TestBitExactness:
+    """Lazy int64 transforms match the eager scalar reference, row by row."""
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=16, deadline=None)
+    def test_forward_matches_scalar_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        mat = _random_residues(rng, CHAIN)
+        out = VecNtt(N, CHAIN).forward(mat)
+        assert out.dtype == np.int64
+        for i, q in enumerate(CHAIN):
+            ref = get_ntt(N, q).forward([int(x) for x in mat[i]])
+            assert [int(x) for x in out[i]] == ref
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=16, deadline=None)
+    def test_inverse_matches_scalar_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        mat = _random_residues(rng, CHAIN)
+        out = VecNtt(N, CHAIN).inverse(mat)
+        for i, q in enumerate(CHAIN):
+            ref = get_ntt(N, q).inverse([int(x) for x in mat[i]])
+            assert [int(x) for x in out[i]] == ref
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_roundtrip_and_stacked_leads(self, seed):
+        rng = np.random.default_rng(seed)
+        ntt = VecNtt(N, CHAIN)
+        mat = _random_residues(rng, CHAIN, shape_lead=(2, 3))
+        assert np.array_equal(ntt.inverse(ntt.forward(mat)), mat)
+
+    def test_outputs_are_canonical_residues(self):
+        rng = np.random.default_rng(7)
+        ntt = VecNtt(N, CHAIN)
+        mat = _random_residues(rng, CHAIN)
+        q_col = np.array(CHAIN).reshape(-1, 1)
+        for out in (ntt.forward(mat), ntt.inverse(mat)):
+            assert (out >= 0).all() and (out < q_col).all()
+
+    def test_object_dtype_chain_matches_scalar_reference(self):
+        rng = np.random.default_rng(11)
+        ntt = VecNtt(N, WIDE_CHAIN)
+        assert ntt.dtype is object
+        mat = np.stack(
+            [np.array([int(x) for x in rng.integers(0, 2**62, size=N)], dtype=object) % q
+             for q in WIDE_CHAIN]
+        )
+        fwd = ntt.forward(mat)
+        for i, q in enumerate(WIDE_CHAIN):
+            assert [int(x) for x in fwd[i]] == get_ntt(N, q).forward(
+                [int(x) for x in mat[i]]
+            )
+        assert np.array_equal(ntt.inverse(fwd), mat)
+
+
+class TestNoCopyContract:
+    def test_check_returns_same_object_on_matching_dtype(self):
+        # The keyswitch hot path hands already-int64 residue matrices to
+        # the transform; the pre-fix unconditional copy was pure overhead.
+        ntt = VecNtt(N, CHAIN)
+        mat = np.zeros((len(CHAIN), N), dtype=np.int64)
+        assert ntt._check(mat) is mat
+
+    def test_check_converts_on_dtype_mismatch(self):
+        ntt = VecNtt(N, CHAIN)
+        mat = np.zeros((len(CHAIN), N), dtype=object)
+        out = ntt._check(mat)
+        assert out is not mat and out.dtype == np.int64
+
+    def test_check_rejects_wrong_shape(self):
+        ntt = VecNtt(N, CHAIN)
+        with pytest.raises(ParameterError, match="residue matrix"):
+            ntt._check(np.zeros((len(CHAIN), N + 1), dtype=np.int64))
+
+    def test_forward_does_not_mutate_caller_input(self):
+        # RnsPoly.eval_mat() feeds its *cached* coefficient matrix into
+        # forward; an in-place stage 0 would corrupt every later use.
+        rng = np.random.default_rng(3)
+        ntt = VecNtt(N, CHAIN)
+        mat = _random_residues(rng, CHAIN)
+        snapshot = mat.copy()
+        ntt.forward(mat)
+        assert np.array_equal(mat, snapshot)
+
+    def test_inverse_does_not_mutate_caller_input(self):
+        rng = np.random.default_rng(4)
+        ntt = VecNtt(N, CHAIN)
+        mat = _random_residues(rng, CHAIN)
+        snapshot = mat.copy()
+        ntt.inverse(mat)
+        assert np.array_equal(mat, snapshot)
+
+    def test_object_paths_do_not_mutate_caller_input(self):
+        ntt = VecNtt(N, WIDE_CHAIN)
+        mat = np.stack(
+            [np.arange(N, dtype=object) % q for q in WIDE_CHAIN]
+        )
+        snapshot = mat.copy()
+        ntt.forward(mat)
+        ntt.inverse(mat)
+        assert np.array_equal(mat, snapshot)
